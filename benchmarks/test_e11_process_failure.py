@@ -1,0 +1,80 @@
+"""E11 — individual-process failure (section 10 extension).
+
+"Hardware failures which do not affect all processes in a cluster will
+not cause the cluster to crash, but will cause individual backups to be
+brought up for the affected processes."
+
+We fail a single process and compare the blast radius against crashing
+its whole cluster: a co-located bystander should keep running undisturbed
+under per-process failure, while a cluster crash forces it through
+recovery too.  Output equivalence must hold in both cases.
+"""
+
+from repro.metrics import format_table
+from repro.workloads import TtyWriterProgram
+
+from conftest import quiet_machine, run_once
+
+FAIL_AT = 20_000
+
+
+def run_scenario(kind):
+    machine = quiet_machine()
+    victim = machine.spawn(
+        TtyWriterProgram(lines=20, tag="victim", compute=2_000),
+        cluster=2, sync_reads_threshold=3)
+    bystander = machine.spawn(
+        TtyWriterProgram(lines=20, tag="bystander", compute=2_000),
+        cluster=2, sync_reads_threshold=3)
+    if kind == "proc":
+        machine.fail_process(victim, at=FAIL_AT)
+    elif kind == "cluster":
+        machine.crash_cluster(2, at=FAIL_AT)
+    machine.run_until_idle(max_events=30_000_000)
+    return machine, victim, bystander
+
+
+def per_tag(machine, tag):
+    return [line for line in machine.tty_output() if line.startswith(tag)]
+
+
+def run_experiment():
+    baseline, victim, bystander = run_scenario("none")
+    rows = []
+    outcomes = {}
+    for kind, label in (("proc", "single process fails"),
+                        ("cluster", "whole cluster crashes")):
+        machine, victim2, bystander2 = run_scenario(kind)
+        assert per_tag(machine, "victim") == per_tag(baseline, "victim")
+        assert per_tag(machine, "bystander") == \
+            per_tag(baseline, "bystander")
+        rows.append([
+            label,
+            machine.metrics.counter("procfail.promotions"),
+            machine.metrics.counter("recovery.promotions"),
+            machine.metrics.counter("recovery.crash_handlings"),
+            machine.metrics.counter("paging.faults"),
+            "up" if machine.clusters[2].alive else "DOWN",
+        ])
+        outcomes[kind] = machine
+    return rows, outcomes
+
+
+def test_e11_individual_process_failure(benchmark, table_printer):
+    rows, outcomes = run_once(benchmark, run_experiment)
+    table_printer(format_table(
+        ["scenario", "per-process promotions", "crash promotions",
+         "cluster crash handlings", "page faults", "cluster 2 after"],
+        rows, title="E11: individual-process failure vs cluster crash "
+                    "(section 10)"))
+
+    proc = outcomes["proc"]
+    cluster = outcomes["cluster"]
+    # Per-process failure: exactly one promotion, no cluster-wide crash
+    # handling, the cluster stays up and the bystander never migrates.
+    assert proc.metrics.counter("procfail.promotions") == 1
+    assert proc.metrics.counter("recovery.crash_handlings") == 0
+    assert proc.clusters[2].alive
+    # Whole-cluster crash drags the bystander through recovery too.
+    assert cluster.metrics.counter("recovery.promotions") == 2
+    assert not cluster.clusters[2].alive

@@ -1,0 +1,83 @@
+"""E12 — the sync-interval trade-off, model versus measurement.
+
+Section 7.8 makes the sync interval tunable but gives no guidance.  E3/E4
+measured the two sides of the trade-off separately; this experiment closes
+the loop: sweep the interval under *injected periodic failures*, measure
+the total completion time (failure-free work + sync overhead + repeated
+recoveries), and compare the empirical sweet spot against the analytic
+square-root law from ``repro.analysis``.
+
+Expected shape: measured total cost is U-shaped in the interval; the
+analytic optimum lands inside the measured sweet-spot region (same order,
+not the exact argmin — the model ignores queueing effects).
+"""
+
+from repro.analysis import SyncParameters, optimal_interval, total_cost_rate
+from repro.config import MachineConfig
+from repro.metrics import format_table
+from repro.workloads import TtyWriterProgram
+
+from conftest import quiet_machine, run_once
+
+#: Sync intervals to sweep, expressed as the exec-time trigger (ticks).
+INTERVALS = (3_000, 10_000, 30_000, 100_000, 300_000)
+MTBF = 120_000  # one crash of the worker's cluster per 120 ms
+
+
+def run_cell(interval):
+    from repro import BackupMode
+
+    machine = quiet_machine(n_clusters=4)
+    # Fullback: each promotion re-creates a backup, so the process stays
+    # protected through repeated failures.
+    pid = machine.spawn(
+        TtyWriterProgram(lines=40, tag="o", compute=2_500),
+        cluster=2, sync_reads_threshold=10 ** 9,
+        sync_time_threshold=interval, backup_mode=BackupMode.FULLBACK)
+    # Periodic single failures; per-process failure keeps the process
+    # protected through repeated promotions.  A failure scheduled after
+    # the process finished is simply a miss.
+    from repro.recovery.procfail import fail_process
+
+    def maybe_fail() -> None:
+        for kernel in machine.kernels:
+            if kernel.alive and pid in kernel.pcbs:
+                fail_process(kernel, pid)
+                return
+
+    for k in range(1, 4):
+        machine.sim.call_at(k * MTBF, maybe_fail)
+    machine.run_until_idle(max_events=60_000_000)
+    assert machine.exits.get(pid) == 0
+    return machine.exit_times[pid], machine.metrics.counter("sync.performed")
+
+
+def run_sweep():
+    rows = []
+    measured = {}
+    config = MachineConfig(n_clusters=4).validate()
+    params = SyncParameters(dirty_pages_per_sync=2, total_pages=2,
+                            mtbf=float(MTBF))
+    for interval in INTERVALS:
+        end, syncs = run_cell(interval)
+        model = total_cost_rate(config, params, interval)
+        rows.append([interval, syncs, end, f"{model * 100:.2f}%"])
+        measured[interval] = end
+    t_star = optimal_interval(config.costs, params)
+    return rows, measured, t_star
+
+
+def test_e12_optimal_sync_interval(benchmark, table_printer):
+    rows, measured, t_star = run_once(benchmark, run_sweep)
+    table_printer(format_table(
+        ["sync interval (ticks)", "syncs", "completion w/ 3 failures",
+         "model cost rate"],
+        rows, title=f"E12: interval sweep under failures "
+                    f"(analytic optimum T* = {t_star:,.0f} ticks)"))
+
+    # U-shape: both extremes cost more than the middle of the sweep.
+    middle = min(INTERVALS, key=lambda i: abs(i - t_star))
+    assert measured[INTERVALS[0]] >= measured[middle]
+    assert measured[INTERVALS[-1]] >= measured[middle]
+    # The analytic optimum lands inside the swept range.
+    assert INTERVALS[0] <= t_star <= INTERVALS[-1]

@@ -1,0 +1,69 @@
+"""E1 — failure-free overhead: Auragen vs explicit checkpointing vs no-FT
+vs active replication (paper sections 2 and 8).
+
+Sweeps the dirty-working-set fraction (pages touched per round out of a
+fixed data space) and reports each regime's completion-time overhead over
+the no-FT floor, plus work-processor time and bus bytes.
+
+Expected shape: Auragen stays within a few tens of percent of the floor
+and scales with the *dirty* set; checkpointing scales with the *whole*
+data space and blows up as the space grows relative to the working set;
+active replication doubles hardware cost at zero time overhead.
+"""
+
+from repro.baselines import compare_regimes
+from repro.config import MachineConfig
+from repro.metrics import format_table
+from repro.workloads import MemoryChurnProgram
+
+from conftest import run_once
+
+TOTAL_PAGES = 48
+SWEEP = (2, 6, 12)   # dirty pages per round
+
+
+def quiet_config():
+    return MachineConfig(n_clusters=3, trace_enabled=False).validate()
+
+
+def run_sweep():
+    rows = []
+    shapes = {}
+    for dirty in SWEEP:
+        def programs(dirty=dirty):
+            return [MemoryChurnProgram(pages=dirty, rounds=30,
+                                       compute=2_000,
+                                       total_pages=TOTAL_PAGES)
+                    for _ in range(2)]
+
+        results = {r.regime: r for r in compare_regimes(
+            programs, quiet_config(), sync_time_threshold=15_000,
+            checkpoint_every=8)}
+        floor = results["none"]
+        for regime in ("none", "auragen", "checkpoint", "active"):
+            r = results[regime]
+            rows.append([dirty, regime, r.completion_time,
+                         f"{r.overhead_vs(floor) * 100:.1f}%",
+                         r.work_busy, r.bus_bytes, r.pages_shipped])
+        shapes[dirty] = (results["auragen"].overhead_vs(floor),
+                         results["checkpoint"].overhead_vs(floor))
+    return rows, shapes
+
+
+def test_e1_failure_free_overhead(benchmark, table_printer):
+    rows, shapes = run_once(benchmark, run_sweep)
+    table_printer(format_table(
+        ["dirty pages/round", "regime", "completion (ticks)", "overhead",
+         "work busy", "bus bytes", "pages shipped"],
+        rows,
+        title=f"E1: failure-free overhead, {TOTAL_PAGES}-page data space "
+              f"(sections 2, 8)"))
+
+    for dirty, (auragen, checkpoint) in shapes.items():
+        # Who wins: Auragen always beats whole-space checkpointing.
+        assert auragen < checkpoint, f"dirty={dirty}"
+        # Rough factor: with a small working set the gap is large.
+        if dirty == SWEEP[0]:
+            assert checkpoint > 4 * max(auragen, 0.01)
+    # Auragen's overhead grows with the dirty set (it ships dirty pages).
+    assert shapes[SWEEP[0]][0] <= shapes[SWEEP[-1]][0] + 0.05

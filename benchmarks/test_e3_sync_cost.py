@@ -1,0 +1,60 @@
+"""E3 — synchronization cost versus sync interval (paper sections 7.8, 8.3).
+
+Sweeps the reads-since-sync threshold and reports: number of syncs, pages
+shipped, mean primary stall per sync, and total completion time.
+
+Expected shape (the section 7.8 tunable trade-off):
+
+* total sync count and total overhead fall as the interval grows;
+* the *per-sync* primary stall stays bounded by the enqueue cost of the
+  dirty pages — never by backup-side processing (section 8.3);
+* E4 shows the flip side: longer intervals mean longer rollforward.
+"""
+
+from repro.metrics import format_table
+from repro.workloads import PingProgram, PongProgram
+
+from conftest import quiet_machine, run_once
+
+THRESHOLDS = (2, 4, 8, 16, 32)
+
+
+def run_sweep():
+    rows = []
+    completions = {}
+    stalls = {}
+    for threshold in THRESHOLDS:
+        machine = quiet_machine()
+        machine.spawn(PingProgram(rounds=60, compute=500), cluster=0,
+                      sync_reads_threshold=threshold)
+        machine.spawn(PongProgram(rounds=60), cluster=2,
+                      sync_reads_threshold=threshold)
+        end = machine.run_until_idle(max_events=30_000_000)
+        syncs = machine.metrics.counter("sync.performed")
+        pages = machine.metrics.counter("sync.pages")
+        stall = machine.metrics.stats("sync.stall_ticks")
+        rows.append([threshold, syncs, pages,
+                     f"{stall.mean:.0f}" if stall else "n/a",
+                     stall.maximum if stall else 0, end])
+        completions[threshold] = end
+        stalls[threshold] = stall
+    return rows, completions, stalls
+
+
+def test_e3_sync_cost(benchmark, table_printer):
+    rows, completions, stalls = run_once(benchmark, run_sweep)
+    table_printer(format_table(
+        ["reads threshold", "syncs", "pages shipped", "mean stall",
+         "max stall", "completion (ticks)"],
+        rows, title="E3: sync cost vs interval (sections 7.8, 8.3)"))
+
+    # More frequent sync never completes faster.
+    assert completions[THRESHOLDS[0]] >= completions[THRESHOLDS[-1]]
+    # Per-sync stall is bounded by enqueue costs (8.3): a handful of dirty
+    # pages times the enqueue cost plus the message build.
+    machine_costs = quiet_machine().config.costs
+    bound = 8 * machine_costs.sync_page_enqueue \
+        + machine_costs.sync_message_build
+    for threshold, stall in stalls.items():
+        if stall is not None:
+            assert stall.maximum <= bound, f"threshold={threshold}"

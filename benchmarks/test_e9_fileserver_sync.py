@@ -1,0 +1,66 @@
+"""E9 — peripheral-server synchronization riding the cache flush (paper
+section 7.9).
+
+"Once written out to a dual ported disk, a substantial portion of the
+server's address space is available to its backup.  If a sync is done at
+the same time, we avoid sending a large amount of information to the
+backup via the message system."
+
+We drive file traffic through the server and compare what actually crossed
+the *message system* for server backup purposes (the small ServerSync
+payloads) against what the flushed cache moved to *disk* — the bytes the
+flush trick keeps off the bus.  Sweep the server sync interval.
+
+Expected shape: message-system bytes per sync stay small and flat; the
+disk carries the bulk, and bus bytes spent on server syncs are a small
+fraction of the data written.
+"""
+
+from repro.metrics import format_table
+from repro.workloads import FileWorkerProgram
+
+from conftest import quiet_machine, run_once
+
+SYNC_INTERVALS = (8, 16, 32)
+
+
+def run_sweep():
+    rows = []
+    shapes = {}
+    for interval in SYNC_INTERVALS:
+        machine = quiet_machine(server_sync_requests=interval)
+        for index in range(2):
+            machine.spawn(FileWorkerProgram(path=f"data{index}",
+                                            records=16,
+                                            tag=f"fw{index}"),
+                          cluster=2, sync_reads_threshold=6)
+        machine.run_until_idle(max_events=40_000_000)
+        syncs = machine.metrics.counter("server.syncs_sent")
+        discarded = machine.metrics.counter("server.requests_discarded")
+        disk_busy = sum(
+            machine.metrics.busy(res)
+            for res in machine.metrics.busy_resources()
+            if res.startswith("disk["))
+        sync_bytes = syncs * 128   # ServerSync payload size on the bus
+        total_bus = machine.metrics.counter("bus.bytes")
+        rows.append([interval, syncs, discarded, sync_bytes, total_bus,
+                     disk_busy,
+                     f"{100 * sync_bytes / max(total_bus, 1):.1f}%"])
+        shapes[interval] = (syncs, sync_bytes, total_bus)
+    return rows, shapes
+
+
+def test_e9_fileserver_sync_at_flush(benchmark, table_printer):
+    rows, shapes = run_once(benchmark, run_sweep)
+    table_printer(format_table(
+        ["server sync interval", "server syncs", "requests discarded",
+         "server-sync bus bytes", "total bus bytes", "disk busy (ticks)",
+         "server-sync share of bus"],
+        rows, title="E9: file-server sync rides the flush (section 7.9)"))
+
+    # Server-state shipping via messages stays a small fraction of the
+    # bus even at the tightest interval.
+    for interval, (syncs, sync_bytes, total_bus) in shapes.items():
+        assert sync_bytes < total_bus * 0.25, f"interval={interval}"
+    # Fewer syncs at wider intervals.
+    assert shapes[SYNC_INTERVALS[0]][0] >= shapes[SYNC_INTERVALS[-1]][0]

@@ -1,0 +1,34 @@
+"""F1 — the section 7.1 architecture figure.
+
+Regenerates the paper's only figure: the Auragen 4000's processor
+clusters on the dual intercluster bus with dual-ported peripherals, and
+checks the structural constraints the figure encodes.
+"""
+
+from repro.config import MachineConfig
+from repro.hardware.topology import Topology
+
+from conftest import run_once
+
+
+def test_f1_cluster_architecture(benchmark, table_printer):
+    def build():
+        config = MachineConfig(n_clusters=5).validate()
+        topology = Topology.default(config)
+        return topology, topology.render(), topology.summary()
+
+    topology, art, summary = run_once(benchmark, build)
+    table_printer("F1: Auragen 4000 architecture (section 7.1)\n" + art)
+
+    # The figure's structural claims:
+    assert 2 <= summary["clusters"] <= 32
+    assert summary["executive_processors"] == summary["clusters"]
+    assert summary["work_processors"] == 2 * summary["clusters"]
+    assert summary["all_peripherals_dual_ported"]
+    # Disks come in mirrored pairs inside MirroredDisk; at least the file
+    # system disk and the paging disk exist.
+    assert summary["disks"] >= 2
+    # "It is possible for a cluster to have no peripherals."
+    bare = [cid for cid in range(summary["clusters"])
+            if not topology.disks_for(cid)]
+    assert bare

@@ -1,0 +1,55 @@
+"""File-server failover over the shadow-block filesystem (section 7.9).
+
+A worker writes records through the file server, reads them back and
+prints PASS/FAIL.  We crash cluster 0 — taking down the *primary* file
+server, page server and tty server at once — while the worker is mid-write.
+Their active backups in cluster 1 are signaled to begin recovery: they
+reattach the dual-ported disk through the other port, reload the state as
+of the last flush, discard saved requests their primaries already
+serviced, and re-service the rest (replies the primaries already sent are
+suppressed by the writes-since-sync counts).
+
+Run:  python examples/fileserver_crash.py
+"""
+
+from repro import Machine, MachineConfig
+from repro.workloads import FileWorkerProgram
+
+
+def run(crash_at=None):
+    machine = Machine(MachineConfig(n_clusters=3, trace_enabled=False,
+                                    server_sync_requests=8))
+    pid = machine.spawn(FileWorkerProgram(path="ledger", records=12,
+                                          tag="ledger"),
+                        cluster=2, sync_reads_threshold=4)
+    if crash_at is not None:
+        machine.crash_cluster(0, at=crash_at)
+    machine.run_until_idle(max_events=20_000_000)
+    return machine, pid
+
+
+def main():
+    baseline, pid = run()
+    print(f"failure-free: worker exit={baseline.exits[pid]}, "
+          f"terminal says {baseline.tty_output()}")
+
+    machine, pid = run(crash_at=25_000)
+    metrics = machine.metrics
+    print(f"\ncluster 0 (all primary peripheral servers) crashes at 25ms:")
+    print(f"  server backups promoted: "
+          f"{metrics.counter('server.promotions')}")
+    print(f"  saved requests discarded as already-serviced: "
+          f"{metrics.counter('server.requests_discarded')}")
+    print(f"  duplicate terminal prints dropped by the controller: "
+          f"{metrics.counter('tty.duplicates_dropped')}")
+    print(f"  worker exit={machine.exits[pid]}, "
+          f"terminal says {machine.tty_output()}")
+
+    assert machine.exits[pid] == 0
+    assert "ledger:PASS" in machine.tty_output()
+    print("\nall records intact after failover — the shadow filesystem "
+          "never exposes a partial flush.")
+
+
+if __name__ == "__main__":
+    main()

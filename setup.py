@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on environments whose setuptools
+predates full PEP 660 editable-install support (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

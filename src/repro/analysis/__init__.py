@@ -1,0 +1,19 @@
+"""Analytic models: sync-interval optimization, availability, overhead."""
+
+from .model import (ModelError, SyncParameters, availability,
+                    checkpoint_overhead_rate, expected_recovery_time,
+                    expected_rollforward, optimal_interval, overhead_rate,
+                    sync_stall, total_cost_rate)
+
+__all__ = [
+    "ModelError",
+    "SyncParameters",
+    "availability",
+    "checkpoint_overhead_rate",
+    "expected_recovery_time",
+    "expected_rollforward",
+    "optimal_interval",
+    "overhead_rate",
+    "sync_stall",
+    "total_cost_rate",
+]

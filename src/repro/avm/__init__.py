@@ -1,0 +1,9 @@
+"""The Auragen Virtual Machine: assemble imperative programs that inherit
+fault tolerance automatically (registers sync, memory pages, pc resumes)."""
+
+from .adapter import AvmProcess
+from .assembler import assemble
+from .isa import AvmError, Instruction, OPCODES, REGISTERS
+
+__all__ = ["AvmProcess", "assemble", "AvmError", "Instruction", "OPCODES",
+           "REGISTERS"]

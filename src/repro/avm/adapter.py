@@ -1,0 +1,189 @@
+"""Run AVM programs as fault-tolerant processes.
+
+:class:`AvmProcess` adapts an assembled instruction list to the
+:class:`~repro.programs.Program` contract.  The mapping makes recovery
+automatic:
+
+* VM registers and the VM program counter live in the process register
+  file (synced in every sync message);
+* VM memory is the ``M`` array in the paged address space (dirty pages
+  ship to the page server like any other process's);
+* each step executes a run of pure instructions (batched into one
+  ``Compute``) or exactly one syscall instruction, so replayed execution
+  is instruction-for-instruction identical.
+
+Terminal prints use a per-program print counter kept in a VM register
+slot, giving the device-level dedup keys recovery needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..programs.actions import (Action, Compute, Exit, GetTime, Open, Read,
+                                Write)
+from ..programs.program import Program, StepContext
+from .isa import AvmError, Instruction, SYSCALL_OPS
+
+
+class AvmProcess(Program):
+    """A Program executing assembled AVM code."""
+
+    name = "avm"
+
+    def __init__(self, code: List[Instruction], memory_words: int = 64,
+                 cost_per_instruction: int = 10,
+                 max_batch: int = 32, name: Optional[str] = None) -> None:
+        if not code:
+            raise AvmError("cannot run an empty program")
+        self._code = tuple(code)
+        self._memory_words = memory_words
+        self._cost = cost_per_instruction
+        self._max_batch = max_batch
+        if name is not None:
+            self.name = name
+
+    # -- Program contract ----------------------------------------------------
+
+    def declare(self, space) -> None:
+        space.declare("M", self._memory_words)
+
+    def init(self, mem, regs) -> None:
+        for register in ("r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"):
+            regs[register] = 0
+        regs["vpc"] = 0
+        regs["sp"] = self._memory_words   # stack grows down from the top
+        regs["_prints"] = 0
+        regs["_phase"] = "run"
+
+    def step(self, ctx: StepContext) -> Action:
+        if ctx.regs["_phase"] == "retire":
+            # A syscall just completed: write back its result and advance.
+            self._retire_syscall(ctx)
+            ctx.regs["_phase"] = "run"
+        executed = 0
+        while executed < self._max_batch:
+            vpc = ctx.regs["vpc"]
+            if not 0 <= vpc < len(self._code):
+                raise AvmError(f"vpc {vpc} out of range")
+            instruction = self._code[vpc]
+            if instruction.op in SYSCALL_OPS:
+                if executed:
+                    # Charge the pure prefix first; the syscall issues on
+                    # the next step with vpc parked at it.
+                    return Compute(executed * self._cost)
+                return self._issue_syscall(ctx, instruction)
+            self._execute_pure(ctx, instruction)
+            executed += 1
+        return Compute(executed * self._cost)
+
+    # -- pure instructions ---------------------------------------------------------
+
+    def _execute_pure(self, ctx: StepContext,
+                      instruction: Instruction) -> None:
+        regs = ctx.regs
+        op, args = instruction.op, instruction.args
+        next_vpc = regs["vpc"] + 1
+        if op == "MOVI":
+            regs[args[0]] = args[1]
+        elif op == "MOV":
+            regs[args[0]] = regs[args[1]]
+        elif op == "ADD":
+            regs[args[0]] = regs[args[1]] + regs[args[2]]
+        elif op == "SUB":
+            regs[args[0]] = regs[args[1]] - regs[args[2]]
+        elif op == "MUL":
+            regs[args[0]] = regs[args[1]] * regs[args[2]]
+        elif op == "ADDI":
+            regs[args[0]] = regs[args[1]] + args[2]
+        elif op == "LOAD":
+            regs[args[0]] = ctx.mem.get("M", index=regs[args[1]])
+        elif op == "STORE":
+            ctx.mem.set("M", regs[args[1]], index=regs[args[0]])
+        elif op == "JMP":
+            next_vpc = args[0]
+        elif op == "JZ":
+            if regs[args[0]] == 0:
+                next_vpc = args[1]
+        elif op == "JLT":
+            if regs[args[0]] < regs[args[1]]:
+                next_vpc = args[2]
+        elif op == "GETPID":
+            regs[args[0]] = ctx.pid
+        elif op == "JGT":
+            if regs[args[0]] > regs[args[1]]:
+                next_vpc = args[2]
+        elif op == "MULI":
+            regs[args[0]] = regs[args[1]] * args[2]
+        elif op == "PUSH":
+            sp = regs["sp"] - 1
+            if sp < 0:
+                raise AvmError("stack overflow")
+            ctx.mem.set("M", regs[args[0]], index=sp)
+            regs["sp"] = sp
+        elif op == "POP":
+            sp = regs["sp"]
+            if sp >= self._memory_words:
+                raise AvmError("stack underflow")
+            regs[args[0]] = ctx.mem.get("M", index=sp)
+            regs["sp"] = sp + 1
+        elif op == "CALL":
+            sp = regs["sp"] - 1
+            if sp < 0:
+                raise AvmError("stack overflow")
+            ctx.mem.set("M", regs["vpc"] + 1, index=sp)
+            regs["sp"] = sp
+            next_vpc = args[0]
+        elif op == "RET":
+            sp = regs["sp"]
+            if sp >= self._memory_words:
+                raise AvmError("stack underflow")
+            next_vpc = ctx.mem.get("M", index=sp)
+            regs["sp"] = sp + 1
+        else:  # pragma: no cover - decoder guarantees coverage
+            raise AvmError(f"unhandled pure op {op}")
+        regs["vpc"] = next_vpc
+
+    # -- syscalls ----------------------------------------------------------------
+
+    def _issue_syscall(self, ctx: StepContext,
+                       instruction: Instruction) -> Action:
+        regs = ctx.regs
+        op, args = instruction.op, instruction.args
+        regs["_phase"] = "retire"
+        if op == "HALT":
+            return Exit(regs[args[0]])
+        if op == "OPEN":
+            return Open(args[1])
+        if op == "WRITE":
+            return Write(regs[args[0]], regs[args[1]])
+        if op == "SEND":
+            return Write(regs[args[0]], (args[1], regs[args[2]]))
+        if op == "RECV":
+            return Read(regs[args[1]])
+        if op == "TIME":
+            return GetTime()
+        if op == "TTYPUT":
+            seq = regs["_prints"]
+            regs["_prints"] = seq + 1
+            return Write(regs[args[0]],
+                         ("twrite", f"{args[1]}:{regs['r0']}",
+                          ctx.pid, seq),
+                         await_reply=True)
+        raise AvmError(f"unhandled syscall {op}")  # pragma: no cover
+
+    def _retire_syscall(self, ctx: StepContext) -> None:
+        regs = ctx.regs
+        instruction = self._code[regs["vpc"]]
+        op, args = instruction.op, instruction.args
+        result: Any = ctx.rv
+        if op == "OPEN":
+            if result is None:
+                raise AvmError(f"OPEN failed for {args[1]!r}")
+            regs[args[0]] = result
+        elif op == "RECV":
+            regs[args[0]] = result
+        elif op == "TIME":
+            regs[args[0]] = result
+        # WRITE / SEND / TTYPUT need no writeback.
+        regs["vpc"] = regs["vpc"] + 1

@@ -1,0 +1,134 @@
+"""Two-pass assembler for the AVM.
+
+Syntax: one instruction per line; ``label:`` defines a branch target;
+``;`` starts a comment; string literals are double-quoted; register
+operands are ``r0``..``r7``; immediates are decimal integers.
+
+Example::
+
+    ; print 0..4 at the terminal
+            OPEN  r7, "tty:0"
+            MOVI  r0, 0
+            MOVI  r1, 5
+    loop:   JLT   r0, r1, body
+            HALT  r0
+    body:   TTYPUT r7, "line"
+            ADDI  r0, r0, 1
+            JMP   loop
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .isa import AvmError, Instruction, OPCODES, REGISTERS
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble source text into an instruction list."""
+    lines = _strip(source)
+    labels = _collect_labels(lines)
+    program: List[Instruction] = []
+    for text, _ in lines:
+        instruction = _parse_instruction(text, labels)
+        if instruction is not None:
+            program.append(instruction)
+    if not program:
+        raise AvmError("empty program")
+    return program
+
+
+def _strip(source: str) -> List[Tuple[str, int]]:
+    out = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if text:
+            out.append((text, number))
+    return out
+
+
+def _collect_labels(lines: List[Tuple[str, int]]) -> Dict[str, int]:
+    labels: Dict[str, int] = {}
+    index = 0
+    for text, number in lines:
+        label, has_instr = _split_label(text)
+        if label is not None:
+            if label in labels:
+                raise AvmError(f"line {number}: duplicate label {label!r}")
+            labels[label] = index
+        if has_instr:
+            index += 1
+    return labels
+
+
+def _split_label(text: str) -> Tuple[str, bool]:
+    if ":" in text:
+        head, rest = text.split(":", 1)
+        head = head.strip()
+        if _LABEL_RE.match(head):
+            return head, bool(rest.strip())
+    return None, True
+
+
+def _parse_instruction(text: str, labels: Dict[str, int]):
+    label, has_instr = _split_label(text)
+    if label is not None:
+        text = text.split(":", 1)[1].strip()
+        if not has_instr:
+            return None
+    parts = text.split(None, 1)
+    op = parts[0].upper()
+    if op not in OPCODES:
+        raise AvmError(f"unknown opcode {op!r} in {text!r}")
+    raw_args = _split_args(parts[1]) if len(parts) > 1 else []
+    kinds = OPCODES[op]
+    if len(raw_args) != len(kinds):
+        raise AvmError(f"{op}: expected {len(kinds)} operands in {text!r}")
+    args = []
+    for kind, raw in zip(kinds, raw_args):
+        args.append(_parse_operand(op, kind, raw, labels))
+    return Instruction(op=op, args=tuple(args))
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on commas not inside string literals."""
+    args: List[str] = []
+    depth_string = False
+    current = ""
+    for char in text:
+        if char == '"':
+            depth_string = not depth_string
+            current += char
+        elif char == "," and not depth_string:
+            args.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        args.append(current.strip())
+    return args
+
+
+def _parse_operand(op: str, kind: str, raw: str,
+                   labels: Dict[str, int]):
+    if kind == "r":
+        if raw not in REGISTERS:
+            raise AvmError(f"{op}: {raw!r} is not a register")
+        return raw
+    if kind == "i":
+        try:
+            return int(raw)
+        except ValueError:
+            raise AvmError(f"{op}: {raw!r} is not an integer")
+    if kind == "l":
+        if raw not in labels:
+            raise AvmError(f"{op}: undefined label {raw!r}")
+        return labels[raw]
+    if kind == "s":
+        if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
+            raise AvmError(f"{op}: {raw!r} is not a string literal")
+        return raw[1:-1]
+    raise AvmError(f"bad operand kind {kind!r}")  # pragma: no cover

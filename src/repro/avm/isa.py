@@ -1,0 +1,112 @@
+"""The Auragen Virtual Machine instruction set.
+
+The paper runs ordinary (recompiled UNIX) programs; our Program substrate
+instead asks authors for explicit state machines.  The AVM closes that
+gap: a tiny register machine whose programs are *automatically*
+deterministic and resumable — registers live in the synced register file,
+memory lives in the paged address space, and the program counter is just
+another register.  Assemble any imperative program for the AVM and it
+inherits fault tolerance with no further thought, which is exactly the
+transparency story of section 3.3.
+
+Registers: ``r0``..``r7``.  Memory: a flat word array ``M[0..size)``.
+
+Instructions (dst first):
+
+====================  =====================================================
+``MOVI r, imm``       r := imm
+``MOV  r, s``         r := s
+``ADD/SUB/MUL r,a,b`` r := a op b
+``ADDI r, a, imm``    r := a + imm
+``LOAD r, a``         r := M[a]       (a is a register holding the address)
+``STORE a, s``        M[a] := s
+``JMP label``         unconditional branch
+``JZ s, label``       branch if s == 0
+``JLT a, b, label``   branch if a < b
+``OPEN r, "name"``    r := fd from opening "name" via the file server
+``WRITE f, s``        send value s on channel in register f
+``SEND f, "t", s``    send tuple ("t", s) on channel in register f
+``RECV r, f``         blocking read from channel in register f into r
+``TTYPUT f, "text"``  print text on the terminal channel in f (deduped)
+``GETPID r``          r := pid
+``TIME r``            r := process-server time (message-served, 7.5.1)
+``HALT s``            exit with code s
+``PUSH s``            M[--sp] := s       (sp starts at top of memory)
+``POP r``             r := M[sp++]
+``CALL label``        push return address; jump to label
+``RET``               pop return address; jump to it
+``JGT a, b, label``   branch if a > b
+``MULI r, a, imm``    r := a * imm
+====================  =====================================================
+
+The stack pointer lives in the ``sp`` register slot (initialized to the
+top of memory); stack cells are ordinary paged memory, so deep recursion
+survives crashes like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+class AvmError(Exception):
+    """Raised on malformed programs or runtime faults (bad register)."""
+
+
+REGISTERS = tuple(f"r{i}" for i in range(8))
+
+#: op -> (operand kinds), where kinds are: r = register, i = immediate,
+#: l = label, s = string literal.
+OPCODES = {
+    "MOVI": ("r", "i"),
+    "MOV": ("r", "r"),
+    "ADD": ("r", "r", "r"),
+    "SUB": ("r", "r", "r"),
+    "MUL": ("r", "r", "r"),
+    "ADDI": ("r", "r", "i"),
+    "LOAD": ("r", "r"),
+    "STORE": ("r", "r"),
+    "JMP": ("l",),
+    "JZ": ("r", "l"),
+    "JLT": ("r", "r", "l"),
+    "OPEN": ("r", "s"),
+    "WRITE": ("r", "r"),
+    "SEND": ("r", "s", "r"),
+    "RECV": ("r", "r"),
+    "TTYPUT": ("r", "s"),
+    "GETPID": ("r",),
+    "TIME": ("r",),
+    "HALT": ("r",),
+    "PUSH": ("r",),
+    "POP": ("r",),
+    "CALL": ("l",),
+    "RET": (),
+    "JGT": ("r", "r", "l"),
+    "MULI": ("r", "r", "i"),
+}
+
+#: Instructions that must yield an Action to the kernel (everything else
+#: is pure compute and can be batched into one step).
+SYSCALL_OPS = frozenset({"OPEN", "WRITE", "SEND", "RECV", "TTYPUT", "TIME",
+                         "HALT"})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: str
+    args: Tuple[Any, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise AvmError(f"unknown opcode {self.op!r}")
+        expected = OPCODES[self.op]
+        if len(self.args) != len(expected):
+            raise AvmError(
+                f"{self.op} expects {len(expected)} operands, "
+                f"got {len(self.args)}")
+
+    def render(self) -> str:
+        return f"{self.op} " + ", ".join(str(a) for a in self.args)

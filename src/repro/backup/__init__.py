@@ -1,0 +1,7 @@
+"""Backup maintenance: modes, the sync protocol, backup-side application."""
+
+from .modes import BackupMode
+from .sync import perform_sync
+from . import manager
+
+__all__ = ["BackupMode", "perform_sync", "manager"]

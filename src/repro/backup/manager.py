@@ -1,0 +1,205 @@
+"""Backup-cluster bookkeeping: applying syncs, birth notices, exits.
+
+These functions run in executive-processor context on the cluster holding
+a process's backup.  They maintain the three things a promotion needs:
+the :class:`~repro.kernel.pcb.BackupRecord` (last-synced registers and fd
+map), the backup routing entries (saved queues and write counts), and the
+stored birth notices for not-yet-backed-up children.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+from ..messages.payloads import ChannelDelta, ExitNotice, SyncPayload
+from ..messages.routing import PeerKind, RoutingEntry
+from ..kernel.pcb import BackupRecord, BirthNotice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import ClusterKernel
+
+
+def apply_sync(kernel: "ClusterKernel", payload: SyncPayload) -> None:
+    """Apply a sync message at the backup cluster (7.8, receiving side)."""
+    record = kernel.backups.get(payload.pid)
+    if record is None:
+        record = _create_record(kernel, payload)
+        if record is None:
+            kernel.metrics.incr("sync.apply_dropped")
+            return
+    if payload.sync_seq <= record.sync_seq and record.synced_once:
+        kernel.metrics.incr("sync.apply_stale")
+        return
+    if payload.home_cluster is not None:
+        record.home_cluster = payload.home_cluster
+    record.regs = dict(payload.regs)
+    record.fds = dict(payload.fds)
+    record.next_fd = payload.next_fd
+    record.sync_seq = payload.sync_seq
+    record.pending_alarms = list(payload.pending_alarms)
+    if payload.signal_channel is not None:
+        record.signal_channel = payload.signal_channel
+    if payload.page_channel is not None:
+        record.page_channel = payload.page_channel
+    record.fs_channel_fd = payload.fs_channel_fd
+    record.ps_channel_fd = payload.ps_channel_fd
+    record.synced_once = True
+
+    for delta in payload.channel_deltas:
+        _apply_delta(kernel, payload, delta)
+
+    kernel.nondet_saved.clear_on_sync(payload.pid)
+    kernel.metrics.incr("sync.applied")
+    kernel.trace.emit(kernel.sim.now, "sync.applied", pid=payload.pid,
+                      seq=payload.sync_seq, cluster=kernel.cluster_id)
+    if payload.full:
+        # A full sync (re-)creates a backup from scratch: announce it so
+        # senders repair peer routing and release held messages (7.10.1).
+        from ..messages.message import Delivery, DeliveryRole, MessageKind
+        from ..messages.payloads import BackupReady
+        deliveries = tuple(
+            Delivery(cid, DeliveryRole.KERNEL, payload.pid)
+            for cid in kernel.directory.live_clusters())
+        kernel.send_kernel_message(
+            MessageKind.BACKUP_READY,
+            BackupReady(pid=payload.pid, backup_cluster=kernel.cluster_id),
+            deliveries, size=32)
+
+
+def _create_record(kernel: "ClusterKernel",
+                   payload: SyncPayload) -> BackupRecord:
+    """First sync (or full sync): materialize the backup record, from the
+    stored birth notice (7.7 event 1) or from the full payload."""
+    if payload.full:
+        return kernel.backups.setdefault(payload.pid, BackupRecord(
+            pid=payload.pid, program=payload.program,
+            home_cluster=(payload.home_cluster
+                          if payload.home_cluster is not None else -1),
+            backup_cluster=kernel.cluster_id,
+            backup_mode=payload.backup_mode,
+            family_head=payload.family_head
+            if payload.family_head is not None else payload.pid,
+            is_server=payload.is_server,
+            sync_reads_threshold=payload.sync_reads_threshold,
+            sync_time_threshold=payload.sync_time_threshold))
+    if not payload.create_backup:
+        return None
+    notice = kernel.birth_notices.get(payload.pid)
+    if notice is None:
+        return None
+    record = BackupRecord(
+        pid=payload.pid, program=notice.program,
+        home_cluster=kernel.birth_home.get(payload.pid, -1),
+        backup_cluster=kernel.cluster_id,
+        backup_mode=notice.backup_mode, family_head=notice.family_head,
+        is_server=kernel.birth_is_server.get(payload.pid, False),
+        sync_reads_threshold=payload.sync_reads_threshold,
+        sync_time_threshold=payload.sync_time_threshold)
+    kernel.backups[payload.pid] = record
+    kernel.metrics.incr("backup.records_created")
+    return record
+
+
+def _apply_delta(kernel: "ClusterKernel", payload: SyncPayload,
+                 delta: ChannelDelta) -> None:
+    from ..messages.message import QueuedMessage
+
+    entry = kernel.routing.get(delta.channel_id, payload.pid)
+    if entry is None and payload.full:
+        entry = kernel.routing.add(RoutingEntry(
+            channel_id=delta.channel_id, owner_pid=payload.pid,
+            is_backup=True, peer_pid=delta.peer_pid,
+            peer_cluster=delta.peer_cluster,
+            peer_backup_cluster=delta.peer_backup_cluster,
+            peer_kind=(PeerKind.SERVER if delta.peer_is_server
+                       else PeerKind.USER),
+            fd=delta.fd, opened_since_sync=False))
+    if entry is None:
+        kernel.metrics.incr("sync.delta_no_entry")
+        return
+    if delta.closed:
+        kernel.routing.remove(delta.channel_id, payload.pid)
+        return
+    if delta.fd is not None:
+        entry.fd = delta.fd
+    if payload.full:
+        # Install the transferred unconsumed queue.  Original arrival
+        # seqnos are kept so cross-channel interleaving (the ``which``
+        # rule) survives the transfer; the local arrival counter is bumped
+        # past them so newer arrivals order strictly after.
+        entry.queue = [
+            QueuedMessage(message=m, arrival_seqno=seqno,
+                          arrival_time=kernel.sim.now)
+            for seqno, m in delta.queue_snapshot]
+        if entry.queue:
+            kernel.cluster.ensure_seqno_at_least(
+                entry.queue[-1].arrival_seqno)
+    elif delta.reads_since_sync:
+        # Discard saved messages the primary already read (5.2).
+        trimmed = min(delta.reads_since_sync, len(entry.queue))
+        del entry.queue[:trimmed]
+        kernel.metrics.incr("backup.messages_trimmed", trimmed)
+    # Zero the writes-since-sync count (5.2, 7.8 step 4).
+    entry.writes_since_sync = 0
+
+
+def apply_birth_notice(kernel: "ClusterKernel",
+                       payload: Dict[str, Any]) -> None:
+    """Store a fork's birth notice and create backup routing entries for
+    the channels created on fork (7.7)."""
+    notice: BirthNotice = payload["notice"]
+    fork_index: int = payload["fork_index"]
+    kernel.birth_notices[notice.child_pid] = notice
+    kernel.birth_home[notice.child_pid] = payload["home_cluster"]
+    kernel.birth_is_server[notice.child_pid] = payload["is_server"]
+    if fork_index >= 0:
+        kernel._birth_by_fork[(notice.parent_pid, fork_index)] = notice
+    for channel_id, kind in notice.channels:
+        if kernel.routing.get(channel_id, notice.child_pid) is not None:
+            continue
+        if kind in ("fs", "ps", "page"):
+            info = kernel.directory.server(
+                {"fs": "fs", "ps": "proc", "page": "page"}[kind])
+            entry = RoutingEntry(
+                channel_id=channel_id, owner_pid=notice.child_pid,
+                is_backup=True, peer_pid=info.pid,
+                peer_cluster=info.primary_cluster,
+                peer_backup_cluster=info.backup_cluster,
+                peer_kind=PeerKind.SERVER,
+                kernel_internal=(kind == "page"), opened_since_sync=False)
+        else:  # signal channel
+            entry = RoutingEntry(
+                channel_id=channel_id, owner_pid=notice.child_pid,
+                is_backup=True, peer_pid=None, peer_cluster=None,
+                peer_backup_cluster=None, peer_kind=PeerKind.SERVER,
+                opened_since_sync=False)
+        kernel.routing.add(entry)
+    if payload["create_record"]:
+        # Heads of families / servers: record exists from creation (7.7).
+        wellknown = {kind: chan for chan, kind in notice.channels}
+        kernel.backups.setdefault(notice.child_pid, BackupRecord(
+            pid=notice.child_pid, program=notice.program,
+            home_cluster=payload["home_cluster"],
+            backup_cluster=kernel.cluster_id,
+            backup_mode=notice.backup_mode,
+            family_head=notice.family_head,
+            is_server=payload["is_server"],
+            signal_channel=wellknown.get("signal"),
+            page_channel=wellknown.get("page"),
+            sync_reads_threshold=payload["sync_reads_threshold"],
+            sync_time_threshold=payload["sync_time_threshold"]))
+    kernel.metrics.incr("backup.birth_notices")
+    kernel.trace.emit(kernel.sim.now, "backup.birth_notice",
+                      child=notice.child_pid, cluster=kernel.cluster_id)
+
+
+def apply_exit_notice(kernel: "ClusterKernel", payload: ExitNotice) -> None:
+    """Primary exited cleanly: tear down everything kept for its backup."""
+    kernel.backups.pop(payload.pid, None)
+    kernel.birth_notices.pop(payload.pid, None)
+    kernel.birth_home.pop(payload.pid, None)
+    kernel.birth_is_server.pop(payload.pid, None)
+    kernel.nondet_saved.drop(payload.pid)
+    for entry in kernel.routing.entries_for_pid(payload.pid):
+        kernel.routing.remove(entry.channel_id, payload.pid)
+    kernel.metrics.incr("backup.records_dropped")

@@ -1,0 +1,36 @@
+"""Backup modes (section 7.3).
+
+The kernel supports three ways of being backed up, differing in when (and
+whether) a *new* backup is created after a crash consumes the old
+primary/backup pair:
+
+* ``QUARTERBACK`` — runs backed up until a crash; no new backup afterwards.
+  The default, intended for relatively short-lived user programs.
+* ``HALFBACK`` — a new backup is created only when the crashed cluster
+  returns to service.  Peripheral servers are halfbacks because their
+  primary and backup must sit in the two clusters ported to their device.
+* ``FULLBACK`` — a new backup is created *before* the new primary begins
+  executing; requires at least three clusters.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BackupMode(enum.Enum):
+    """How (and whether) a process is re-protected after a crash (7.3)."""
+
+    QUARTERBACK = "quarterback"
+    HALFBACK = "halfback"
+    FULLBACK = "fullback"
+
+    @property
+    def recreates_backup_immediately(self) -> bool:
+        """Does promotion wait for a fresh backup before running?"""
+        return self is BackupMode.FULLBACK
+
+    @property
+    def recreates_backup_on_return(self) -> bool:
+        """Is a new backup created when the crashed cluster comes back?"""
+        return self is BackupMode.HALFBACK

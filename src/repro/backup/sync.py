@@ -1,0 +1,158 @@
+"""Primary-side synchronization (sections 5.2 and 7.8).
+
+``perform_sync`` implements the two-part sync operation:
+
+1. the normal paging mechanism ships every page modified since the last
+   sync to the page server;
+2. a small sync message — registers, fd map, per-channel deltas with
+   read counts, pending alarms — is sent *in one atomic transmission* to
+   the backup's kernel, the page server, and the page server's backup.
+
+The primary stalls only for as long as it takes to put the dirty pages and
+the sync message on the outgoing queue (section 8.3); the returned stall
+time is exactly that.  Because the outgoing queue is FIFO and the cluster
+transmits in order, any message the primary sends *after* the sync cannot
+overtake it — and if the cluster crashes before the sync leaves, every
+subsequent message is lost with it, so the backup consistently takes over
+from the previous sync point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..messages.message import Delivery, DeliveryRole, MessageKind
+from ..messages.payloads import ChannelDelta, SyncPayload
+from ..messages.routing import EntryStatus, PeerKind
+from ..types import ClusterId, Ticks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import ClusterKernel
+    from ..kernel.pcb import ProcessControlBlock
+
+
+def perform_sync(kernel: "ClusterKernel", pcb: "ProcessControlBlock",
+                 full: bool = False,
+                 target_cluster: Optional[ClusterId] = None,
+                 ship_pages: bool = True) -> Ticks:
+    """Synchronize ``pcb`` with its backup; returns the primary's stall.
+
+    ``full=True`` ships the complete state (all pages, all channels with
+    peer routing, the program object) — used to *create* a backup from
+    scratch when a halfback's lost backup is re-created on a returned
+    cluster (section 7.3).
+    """
+    costs = kernel.config.costs
+    if pcb.full_sync_target is not None:
+        target_cluster = pcb.full_sync_target
+        full = True
+        pcb.full_sync_target = None
+    backup_cluster = (target_cluster if target_cluster is not None
+                      else pcb.backup_cluster)
+    pcb.sync_forced = False
+    if backup_cluster is None:
+        return 0
+
+    pcb.sync_seq += 1
+    # Part 1: ship modified pages through the paging mechanism.  A full
+    # sync from a just-promoted fullback skips this (``ship_pages=False``):
+    # the page server already holds the correct backup account.
+    if not ship_pages:
+        dirty = []
+    elif full:
+        dirty = sorted(pcb.space.resident_pages())
+    else:
+        dirty = pcb.space.dirty_pages()
+    for page_no in dirty:
+        kernel.send_page_out(pcb, page_no, pcb.space.snapshot_page(page_no),
+                             pcb.sync_seq)
+    pcb.space.clear_dirty()
+
+    # Part 2: the sync message.
+    deltas: List[ChannelDelta] = []
+    for entry in kernel.routing.entries_for_pid(pcb.pid):
+        if entry.is_backup:
+            continue
+        if not full and not entry.changed_since_sync:
+            continue
+        if full:
+            deltas.append(ChannelDelta(
+                channel_id=entry.channel_id, fd=entry.fd,
+                reads_since_sync=0, opened=True,
+                closed=entry.status is EntryStatus.CLOSED,
+                peer_pid=entry.peer_pid, peer_cluster=entry.peer_cluster,
+                peer_backup_cluster=entry.peer_backup_cluster,
+                peer_is_server=entry.peer_kind is PeerKind.SERVER,
+                queue_snapshot=tuple((q.arrival_seqno, q.message)
+                                     for q in entry.queue)))
+        else:
+            deltas.append(ChannelDelta(
+                channel_id=entry.channel_id, fd=entry.fd,
+                reads_since_sync=entry.reads_since_sync,
+                opened=entry.opened_since_sync,
+                closed=entry.channel_id in pcb.closed_since_sync))
+        entry.reads_since_sync = 0
+        entry.opened_since_sync = False
+        entry.changed_since_sync = False
+
+    create_backup = not pcb.has_backup_process
+    payload = SyncPayload(
+        pid=pcb.pid, sync_seq=pcb.sync_seq, regs=dict(pcb.regs),
+        fds=dict(pcb.fds), next_fd=pcb.next_fd,
+        channel_deltas=tuple(deltas),
+        pending_alarms=tuple(
+            (seq, max(0, deadline - kernel.sim.now))
+            for seq, deadline in pcb.pending_alarms),
+        create_backup=create_backup, full=full,
+        program=pcb.program if full else None,
+        backup_mode=pcb.backup_mode if full else None,
+        family_head=pcb.family_head, is_server=pcb.is_server,
+        sync_reads_threshold=pcb.sync_reads_threshold,
+        sync_time_threshold=pcb.sync_time_threshold,
+        home_cluster=kernel.cluster_id,
+        signal_channel=pcb.signal_channel, page_channel=pcb.page_channel,
+        fs_channel_fd=pcb.fs_channel_fd, ps_channel_fd=pcb.ps_channel_fd)
+
+    # One atomic transmission: backup kernel + page server (+ its backup).
+    page_info = kernel.directory.server("page")
+    deliveries = [Delivery(backup_cluster, DeliveryRole.KERNEL, pcb.pid)]
+    deliveries.append(Delivery(page_info.primary_cluster,
+                               DeliveryRole.PRIMARY_DEST, page_info.pid,
+                               pcb.page_channel))
+    if page_info.backup_cluster is not None:
+        deliveries.append(Delivery(page_info.backup_cluster,
+                                   DeliveryRole.DEST_BACKUP, page_info.pid,
+                                   pcb.page_channel))
+    kernel.send_kernel_message(MessageKind.SYNC, payload,
+                               tuple(dict.fromkeys(deliveries)), size=128,
+                               src_pid=pcb.pid, channel_id=pcb.page_channel)
+
+    # Primary-side bookkeeping.
+    pcb.reads_since_sync = 0
+    pcb.closed_since_sync = []
+    pcb.has_backup_process = True
+    pcb.backup_cluster = backup_cluster
+    buffer = kernel.nondet_buffers.get(pcb.pid)
+    if buffer is not None:
+        buffer.clear_on_sync()
+    # Force children without backups to sync so their page accounts get
+    # created (7.7 event 2).
+    for child_pid in list(pcb.children_without_backup):
+        child = kernel.pcbs.get(child_pid)
+        if child is not None and not child.has_backup_process:
+            child.sync_forced = True
+    # A parent that now has a backup is no longer pending on its parent.
+    if pcb.parent is not None:
+        parent = kernel.pcbs.get(pcb.parent)
+        if parent is not None:
+            parent.children_without_backup.discard(pcb.pid)
+
+    stall = (len(dirty) * costs.sync_page_enqueue + costs.sync_message_build)
+    kernel.metrics.incr("sync.performed")
+    kernel.metrics.incr("sync.pages", len(dirty))
+    kernel.metrics.record("sync.stall_ticks", stall)
+    kernel.trace.emit(kernel.sim.now, "sync.primary", pid=pcb.pid,
+                      seq=pcb.sync_seq, pages=len(dirty),
+                      deltas=len(deltas), full=full)
+    pcb.last_sync_time = kernel.sim.now
+    return stall

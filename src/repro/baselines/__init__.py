@@ -1,0 +1,11 @@
+"""Comparison baselines from the paper's section 2 survey."""
+
+from .checkpointing import perform_checkpoint
+from .comparison import RegimeResult, compare_regimes, run_regime
+
+__all__ = [
+    "perform_checkpoint",
+    "RegimeResult",
+    "compare_regimes",
+    "run_regime",
+]

@@ -1,0 +1,46 @@
+"""The explicit-checkpointing baseline (paper section 2).
+
+"One strategy is to explicitly checkpoint, i.e., to copy the data space of
+the primary to that of the backup, whenever the former changes.  Though
+the backup is inactive ..., the frequent copying of the primary's data
+space slows down the primary process and uses up a large portion of the
+added computing power."
+
+We reproduce that cost structure: every ``checkpoint_every`` operations
+the process copies its **entire** data space synchronously on the work
+processor (``checkpoint_page_copy`` per page) and ships it over the bus.
+Contrast with the Auragen sync, which enqueues only *dirty* pages and
+returns immediately (8.3).  Experiment E1 sweeps both against the no-FT
+floor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..backup.sync import perform_sync
+from ..types import Ticks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import ClusterKernel
+    from ..kernel.pcb import ProcessControlBlock
+
+
+def perform_checkpoint(kernel: "ClusterKernel",
+                       pcb: "ProcessControlBlock") -> Ticks:
+    """Whole-data-space checkpoint; returns the primary's stall time.
+
+    Mechanically this reuses the full-sync machinery (all pages ship, the
+    backup record is rebuilt), but the stall charged to the primary covers
+    copying every page on the work processor — the defining inefficiency
+    of the scheme.
+    """
+    total_pages = len(pcb.space.resident_pages())
+    perform_sync(kernel, pcb, full=True)
+    pcb.ops_since_checkpoint = 0
+    stall = (total_pages * kernel.config.costs.checkpoint_page_copy
+             + kernel.config.costs.sync_message_build)
+    kernel.metrics.incr("checkpoint.performed")
+    kernel.metrics.incr("checkpoint.pages", total_pages)
+    kernel.metrics.record("checkpoint.stall_ticks", stall)
+    return stall

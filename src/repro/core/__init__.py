@@ -1,0 +1,5 @@
+"""Public facade for the reproduction."""
+
+from .machine import Machine, MachineError
+
+__all__ = ["Machine", "MachineError"]

@@ -1,0 +1,5 @@
+"""Shadow-block filesystem substrate for the file server (section 7.9)."""
+
+from .shadowfs import FsError, ShadowFS
+
+__all__ = ["FsError", "ShadowFS"]

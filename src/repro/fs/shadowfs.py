@@ -1,0 +1,240 @@
+"""A shadow-block filesystem on a mirrored dual-ported disk.
+
+Section 7.9 reorganizes the on-disk file system so the file server can
+sync correctly: "An old copy, i.e., in the state as of last sync, cannot
+be destroyed until the sync is complete ... This involves the duplication
+on disk of those blocks which have changed since last sync.  An additional
+effect ... is to make the file system considerably more robust."
+
+This module implements exactly that: file data and metadata live in
+copy-on-write blocks; a *flush* writes every dirty cached block to freshly
+allocated shadow blocks and then atomically flips the root pointer
+(written to the superblock pair).  A crash between flushes leaves the
+previous root intact, so the promoted backup file server always sees the
+state as of the last completed flush.
+
+Layout (all integers, stored as disk blocks of cells):
+
+* block 0/1: superblock pair (root generation, block map location);
+* everything else: allocated on demand from a free list.
+
+The file API is deliberately small — create / write / read / list — which
+is all the paper's file-server role needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..hardware.disk import MirroredDisk
+from ..types import ClusterId, Ticks
+
+
+class FsError(Exception):
+    """Raised on invalid file operations."""
+
+
+@dataclass
+class _Inode:
+    """In-memory inode: name and the blocks holding file data."""
+
+    name: str
+    size_words: int = 0
+    blocks: List[int] = field(default_factory=list)
+
+    def copy(self) -> "_Inode":
+        return _Inode(name=self.name, size_words=self.size_words,
+                      blocks=list(self.blocks))
+
+
+class ShadowFS:
+    """Copy-on-write filesystem image over a mirrored disk.
+
+    The object holds the *cache state* a file server keeps in its address
+    space: the current (unflushed) inode table and free list.  ``flush``
+    makes the current state durable and returns the total disk cost; a
+    fresh ``ShadowFS`` attached to the same disk (a promoted backup)
+    reloads the last flushed state via ``reload``.
+    """
+
+    SUPERBLOCK_A = 0
+    SUPERBLOCK_B = 1
+    FIRST_DATA_BLOCK = 2
+
+    def __init__(self, disk: MirroredDisk, cluster_id: ClusterId,
+                 words_per_block: int = 64) -> None:
+        self._disk = disk
+        self._cluster = cluster_id
+        self.words_per_block = words_per_block
+        self._inodes: Dict[str, _Inode] = {}
+        self._next_block = self.FIRST_DATA_BLOCK
+        self._free: List[int] = []
+        #: Blocks written since last flush (their old shadows are freed
+        #: only after the root flip commits).
+        self._pending_frees: List[int] = []
+        self._dirty: Dict[int, Tuple[int, ...]] = {}
+        self._generation = 0
+
+    # -- port management -------------------------------------------------
+
+    def reattach(self, cluster_id: ClusterId) -> None:
+        """Access the disk through the other port after a failover."""
+        self._cluster = cluster_id
+
+    # -- file operations (cache-level; durable only after flush) -----------
+
+    def create(self, name: str) -> None:
+        if name in self._inodes:
+            return
+        self._inodes[name] = _Inode(name=name)
+
+    def exists(self, name: str) -> bool:
+        return name in self._inodes
+
+    def listdir(self) -> List[str]:
+        return sorted(self._inodes)
+
+    def write(self, name: str, offset: int, words: Tuple[int, ...]
+              ) -> Ticks:
+        """Write ``words`` at word ``offset``; copy-on-write at block
+        granularity.  Returns the immediate cost (0: writes are cached
+        until flush)."""
+        inode = self._inodes.get(name)
+        if inode is None:
+            raise FsError(f"no such file {name!r}")
+        end = offset + len(words)
+        n_blocks = (end + self.words_per_block - 1) // self.words_per_block
+        # Extend with fresh zero blocks as needed.
+        while len(inode.blocks) < n_blocks:
+            block_no = self._allocate()
+            inode.blocks.append(block_no)
+            self._dirty[block_no] = tuple([0] * self.words_per_block)
+        for index, value in enumerate(words):
+            address = offset + index
+            block_index = address // self.words_per_block
+            block_no = inode.blocks[block_index]
+            data = list(self._block_data(block_no))
+            data[address % self.words_per_block] = value
+            if block_no not in self._dirty:
+                # Copy-on-write: redirect the inode to a shadow block; the
+                # old block stays valid for the last flushed root.
+                new_block = self._allocate()
+                self._pending_frees.append(block_no)
+                inode.blocks[block_index] = new_block
+                block_no = new_block
+            self._dirty[block_no] = tuple(data)
+        inode.size_words = max(inode.size_words, end)
+        return 0
+
+    def read(self, name: str, offset: int, count: int
+             ) -> Tuple[Tuple[int, ...], Ticks]:
+        """Read ``count`` words at ``offset``; returns (data, disk cost).
+        Cached (dirty) blocks cost nothing; clean blocks hit the disk."""
+        inode = self._inodes.get(name)
+        if inode is None:
+            raise FsError(f"no such file {name!r}")
+        out: List[int] = []
+        cost = 0
+        for address in range(offset, offset + count):
+            if address >= inode.size_words:
+                out.append(0)
+                continue
+            block_index = address // self.words_per_block
+            block_no = inode.blocks[block_index]
+            if block_no in self._dirty:
+                data = self._dirty[block_no]
+            else:
+                raw, block_cost = self._disk.read(self._cluster, block_no)
+                cost += block_cost
+                data = raw if raw is not None \
+                    else tuple([0] * self.words_per_block)
+            out.append(data[address % self.words_per_block])
+        return tuple(out), cost
+
+    def size(self, name: str) -> int:
+        inode = self._inodes.get(name)
+        if inode is None:
+            raise FsError(f"no such file {name!r}")
+        return inode.size_words
+
+    # -- durability ----------------------------------------------------------
+
+    def dirty_block_count(self) -> int:
+        return len(self._dirty)
+
+    def flush(self) -> Ticks:
+        """Write all dirty blocks, then atomically flip the root.
+
+        Returns total disk cost.  Only after the superblock write commits
+        are the superseded shadow blocks freed — a crash mid-flush leaves
+        the old root fully intact (7.9's robustness claim).
+        """
+        cost = 0
+        for block_no in sorted(self._dirty):
+            cost += self._disk.write(self._cluster, block_no,
+                                     self._dirty[block_no])
+        self._dirty.clear()
+        self._generation += 1
+        root = self._serialize_root()
+        target = (self.SUPERBLOCK_A if self._generation % 2 == 0
+                  else self.SUPERBLOCK_B)
+        cost += self._disk.write(self._cluster, target, root)
+        # Commit point passed: recycle superseded blocks.
+        self._free.extend(self._pending_frees)
+        self._pending_frees.clear()
+        return cost
+
+    def reload(self) -> Ticks:
+        """Rebuild the cache from the last flushed root (backup takeover).
+        Returns disk cost of reading the superblocks."""
+        root_a, cost_a = self._disk.read(self._cluster, self.SUPERBLOCK_A)
+        root_b, cost_b = self._disk.read(self._cluster, self.SUPERBLOCK_B)
+        cost = cost_a + cost_b
+        best = None
+        for root in (root_a, root_b):
+            if root and (best is None or root[0] > best[0]):
+                best = root
+        self._inodes.clear()
+        self._dirty.clear()
+        self._pending_frees.clear()
+        self._free.clear()
+        if best is None:
+            self._generation = 0
+            self._next_block = self.FIRST_DATA_BLOCK
+            return cost
+        self._deserialize_root(best)
+        return cost
+
+    # -- root (de)serialization ------------------------------------------------
+
+    def _serialize_root(self) -> Tuple:
+        entries: List = [self._generation, self._next_block,
+                         len(self._inodes)]
+        for name in sorted(self._inodes):
+            inode = self._inodes[name]
+            entries.append((name, inode.size_words, tuple(inode.blocks)))
+        return tuple(entries)
+
+    def _deserialize_root(self, root: Tuple) -> None:
+        self._generation = root[0]
+        self._next_block = root[1]
+        count = root[2]
+        for name, size_words, blocks in root[3:3 + count]:
+            self._inodes[name] = _Inode(name=name, size_words=size_words,
+                                        blocks=list(blocks))
+
+    # -- internals --------------------------------------------------------------
+
+    def _allocate(self) -> int:
+        if self._free:
+            return self._free.pop()
+        block_no = self._next_block
+        self._next_block += 1
+        return block_no
+
+    def _block_data(self, block_no: int) -> Tuple[int, ...]:
+        if block_no in self._dirty:
+            return self._dirty[block_no]
+        raw, _ = self._disk.read(self._cluster, block_no)
+        return raw if raw is not None else tuple([0] * self.words_per_block)

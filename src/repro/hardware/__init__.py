@@ -1,0 +1,20 @@
+"""Simulated Auragen 4000 hardware: clusters, processors, bus, disks."""
+
+from .bus import InterclusterBus
+from .cluster import Cluster
+from .disk import Block, DiskDrive, DiskError, MirroredDisk
+from .processor import ExecutiveProcessor, WorkProcessor
+from .topology import PeripheralSpec, Topology
+
+__all__ = [
+    "InterclusterBus",
+    "Cluster",
+    "Block",
+    "DiskDrive",
+    "DiskError",
+    "MirroredDisk",
+    "ExecutiveProcessor",
+    "WorkProcessor",
+    "PeripheralSpec",
+    "Topology",
+]

@@ -1,0 +1,151 @@
+"""The intercluster bus with atomic multi-destination delivery.
+
+Section 5.1 requires two hardware guarantees, and this module is where the
+reproduction provides them:
+
+1. **All-or-none**: either every addressed (live) cluster receives a
+   transmission or none does.  We deliver all legs at a single event time;
+   if the *sender* crashes before the transmission completes, no cluster
+   receives anything (matching 7.8: a sync that never leaves the crashed
+   cluster simply never happened).
+2. **No interleaving**: the bus carries one transmission at a time, so two
+   messages can never arrive at shared destinations in different relative
+   orders — a primary and its backup always see the same message order.
+
+Each transmission crosses the bus exactly once regardless of how many
+clusters it addresses (section 8.1's "transmitted just once" claim, counted
+by the ``bus.transmissions`` metric).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, TYPE_CHECKING
+
+from ..config import CostModel
+from ..messages.message import Message
+from ..metrics import MetricSet
+from ..sim import Simulator, TraceLog
+from ..types import ClusterId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .cluster import Cluster
+
+
+@dataclass
+class _Transmission:
+    src: ClusterId
+    message: Message
+
+
+class InterclusterBus:
+    """A single shared bus serializing all intercluster transmissions.
+
+    Clusters request the bus when their outgoing queue becomes non-empty;
+    arbitration is FIFO by request order (deterministic).  The Auragen's
+    dual bus is modelled as one logical bus: the duplicate exists for
+    hardware fault tolerance, not extra bandwidth, and single-bus
+    serialization is exactly the non-interleaving guarantee we need.
+    """
+
+    def __init__(self, sim: Simulator, costs: CostModel, metrics: MetricSet,
+                 trace: TraceLog) -> None:
+        self._sim = sim
+        self._costs = costs
+        self._metrics = metrics
+        self._trace = trace
+        self._clusters: Dict[ClusterId, "Cluster"] = {}
+        self._requests: Deque[ClusterId] = deque()
+        self._requested: set = set()
+        self._current: Optional[_Transmission] = None
+
+    def attach(self, cluster: "Cluster") -> None:
+        """Register a cluster on the bus (done once at machine build)."""
+        self._clusters[cluster.cluster_id] = cluster
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    def request(self, cluster_id: ClusterId) -> None:
+        """A cluster signals it has outgoing traffic ready to transmit."""
+        if cluster_id in self._requested:
+            return
+        self._requested.add(cluster_id)
+        self._requests.append(cluster_id)
+        if self._current is None:
+            self._grant_next()
+
+    def sender_crashed(self, cluster_id: ClusterId) -> None:
+        """Abort any in-flight transmission from a crashed cluster.
+
+        The message is lost in its entirety: no destination receives it
+        (all-or-none).  Queued bus requests from the cluster are dropped.
+        """
+        if self._current is not None and self._current.src == cluster_id:
+            self._trace.emit(self._sim.now, "bus.aborted",
+                             src=cluster_id,
+                             msg=self._current.message.describe())
+            self._metrics.incr("bus.aborted_transmissions")
+            self._current = None
+            # The completion event will observe the abort and reschedule.
+
+    def _grant_next(self) -> None:
+        if self._current is not None:
+            return  # a grant is already in flight
+        while self._requests:
+            cluster_id = self._requests.popleft()
+            self._requested.discard(cluster_id)
+            cluster = self._clusters[cluster_id]
+            if not cluster.alive or not cluster.outgoing_enabled:
+                continue
+            message = cluster.pop_outgoing()
+            if message is None:
+                continue
+            self._begin(cluster_id, message)
+            return
+
+    def _begin(self, src: ClusterId, message: Message) -> None:
+        transmission = _Transmission(src=src, message=message)
+        self._current = transmission
+        duration = (self._costs.bus_latency
+                    + message.size_bytes * self._costs.bus_ticks_per_byte)
+        self._metrics.incr("bus.transmissions")
+        self._metrics.incr("bus.bytes", message.size_bytes)
+        self._metrics.add_busy("bus", message.kind.value, duration)
+        self._trace.emit(self._sim.now, "bus.transmit", src=src,
+                         msg=message.describe(),
+                         targets=message.target_clusters())
+        self._sim.call_after(duration, lambda: self._complete(transmission),
+                             label="bus.complete")
+
+    def _complete(self, transmission: _Transmission) -> None:
+        if self._current is not transmission:
+            # Aborted mid-flight by a sender crash; just move the bus on.
+            if self._current is None:
+                self._grant_next()
+            return
+        self._current = None
+        message = transmission.message
+        src_cluster = self._clusters[transmission.src]
+        if not src_cluster.alive:
+            # Sender died at the exact completion instant: treat as lost.
+            self._metrics.incr("bus.aborted_transmissions")
+        else:
+            self._deliver_all(message)
+            # The sender may have queued more traffic while we were busy.
+            if src_cluster.has_outgoing():
+                self.request(transmission.src)
+        self._grant_next()
+
+    def _deliver_all(self, message: Message) -> None:
+        """Atomic delivery: every live addressed cluster receives the
+        message at this same event time."""
+        for cluster_id in message.target_clusters():
+            cluster = self._clusters.get(cluster_id)
+            if cluster is None or not cluster.alive:
+                self._metrics.incr("bus.deliveries_to_dead")
+                continue
+            cluster.receive(message)
+            self._metrics.incr("bus.deliveries")

@@ -1,0 +1,120 @@
+"""Dual-ported mirrored disks.
+
+Section 7.1: "All peripherals are dual-ported and connected to two
+clusters.  In addition, disks are connected in pairs to facilitate mirrored
+files."  A :class:`MirroredDisk` is the unit peripheral servers sit on: it
+survives any single cluster crash (the surviving port keeps access) and any
+single drive failure (the mirror keeps the data).
+
+Disks are passive: they store blocks and report access costs; the calling
+server accounts those costs as its own compute time, which matches the
+paper's model where peripheral processors (folded into our servers) drive
+the devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import CostModel
+from ..types import ClusterId, Ticks
+
+Block = Tuple[int, ...]
+
+
+class DiskError(Exception):
+    """Raised on invalid block access or access through a dead port."""
+
+
+@dataclass
+class DiskDrive:
+    """A single drive: a sparse map of block number -> immutable block."""
+
+    drive_id: int
+    block_size: int = 1024
+    failed: bool = False
+    _blocks: Dict[int, Block] = field(default_factory=dict)
+
+    def read(self, block_no: int) -> Optional[Block]:
+        if self.failed:
+            raise DiskError(f"drive {self.drive_id} has failed")
+        return self._blocks.get(block_no)
+
+    def write(self, block_no: int, data: Block) -> None:
+        if self.failed:
+            raise DiskError(f"drive {self.drive_id} has failed")
+        if block_no < 0:
+            raise DiskError(f"negative block number {block_no}")
+        self._blocks[block_no] = tuple(data)
+
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+
+class MirroredDisk:
+    """A mirrored pair of drives, dual-ported to two clusters.
+
+    Writes go to both live drives; reads come from the first live drive.
+    ``ports`` names the two clusters that may access the disk — exactly the
+    pair a peripheral server and its backup must live in (section 7.9).
+    """
+
+    def __init__(self, disk_id: int, ports: Tuple[ClusterId, ClusterId],
+                 costs: CostModel, block_size: int = 1024) -> None:
+        if ports[0] == ports[1]:
+            raise DiskError("dual ports must connect two distinct clusters")
+        self.disk_id = disk_id
+        self.ports = ports
+        self.block_size = block_size
+        self._costs = costs
+        self._drives = (DiskDrive(drive_id=disk_id * 2, block_size=block_size),
+                        DiskDrive(drive_id=disk_id * 2 + 1,
+                                  block_size=block_size))
+
+    def _check_port(self, cluster_id: ClusterId) -> None:
+        if cluster_id not in self.ports:
+            raise DiskError(
+                f"cluster {cluster_id} is not ported to disk {self.disk_id} "
+                f"(ports={self.ports})")
+
+    def _live_drives(self) -> Tuple[DiskDrive, ...]:
+        live = tuple(d for d in self._drives if not d.failed)
+        if not live:
+            raise DiskError(f"both drives of disk {self.disk_id} failed")
+        return live
+
+    def access_cost(self, n_bytes: int) -> Ticks:
+        """Virtual-time cost of one block-sized access."""
+        return (self._costs.disk_block_access
+                + n_bytes * self._costs.disk_ticks_per_byte)
+
+    def read(self, cluster_id: ClusterId, block_no: int
+             ) -> Tuple[Optional[Block], Ticks]:
+        """Read a block through a port; returns (data, cost)."""
+        self._check_port(cluster_id)
+        drive = self._live_drives()[0]
+        data = drive.read(block_no)
+        n = len(data) * 4 if data else self.block_size
+        return data, self.access_cost(n)
+
+    def write(self, cluster_id: ClusterId, block_no: int,
+              data: Block) -> Ticks:
+        """Write a block through a port to every live drive; returns cost.
+
+        Cost covers one access: mirrored writes proceed in parallel on the
+        paired drives.
+        """
+        self._check_port(cluster_id)
+        for drive in self._live_drives():
+            drive.write(block_no, data)
+        return self.access_cost(len(data) * 4)
+
+    def fail_drive(self, which: int) -> None:
+        """Inject a single-drive failure (0 or 1)."""
+        self._drives[which].failed = True
+
+    def other_port(self, cluster_id: ClusterId) -> ClusterId:
+        """The partner cluster on the other port."""
+        self._check_port(cluster_id)
+        return self.ports[1] if self.ports[0] == cluster_id else self.ports[0]

@@ -1,0 +1,25 @@
+"""Per-cluster Auros kernels: PCBs, scheduling, delivery, syscalls."""
+
+from .directory import Directory, DirectoryError, ServerInfo
+from .kernel import ClusterKernel, KernelError
+from .nondet import NondetBuffer, NondetSavedLog
+from .pcb import (BackupRecord, BirthNotice, BlockInfo, ProcState,
+                  ProcessControlBlock)
+from .scheduler import Scheduler, SchedulerError
+
+__all__ = [
+    "Directory",
+    "DirectoryError",
+    "ServerInfo",
+    "ClusterKernel",
+    "KernelError",
+    "NondetBuffer",
+    "NondetSavedLog",
+    "BackupRecord",
+    "BirthNotice",
+    "BlockInfo",
+    "ProcState",
+    "ProcessControlBlock",
+    "Scheduler",
+    "SchedulerError",
+]

@@ -1,0 +1,115 @@
+"""Well-known server placement and deterministic placement policy.
+
+The paper's process server tracks where every process lives; bootstrapping,
+however, needs *some* statically known facts (in real Auros: boot-time
+configuration).  The :class:`Directory` models that replicated boot
+configuration: where the well-known servers (file / process / page / tty)
+start out, which cluster backs up which, and where fullback re-creation
+places new backups.  All decisions are pure functions of (configuration,
+liveness set), so every cluster computes identical answers — the property
+that lets us share one object among kernels without hiding real
+coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..types import ClusterId, Pid
+
+
+class DirectoryError(Exception):
+    """Raised when placement is impossible (e.g. no live cluster left)."""
+
+
+@dataclass
+class ServerInfo:
+    """Location of a well-known server process."""
+
+    name: str
+    pid: Pid
+    primary_cluster: ClusterId
+    backup_cluster: Optional[ClusterId]
+
+
+@dataclass
+class Directory:
+    """Replicated placement knowledge."""
+
+    n_clusters: int
+    servers: Dict[str, ServerInfo] = field(default_factory=dict)
+    dead_clusters: Set[ClusterId] = field(default_factory=set)
+
+    def register_server(self, name: str, pid: Pid,
+                        primary_cluster: ClusterId,
+                        backup_cluster: Optional[ClusterId]) -> ServerInfo:
+        info = ServerInfo(name=name, pid=pid,
+                          primary_cluster=primary_cluster,
+                          backup_cluster=backup_cluster)
+        self.servers[name] = info
+        return info
+
+    def server(self, name: str) -> ServerInfo:
+        info = self.servers.get(name)
+        if info is None:
+            raise DirectoryError(f"no server registered under {name!r}")
+        return info
+
+    # -- liveness ------------------------------------------------------------
+
+    def live_clusters(self) -> List[ClusterId]:
+        return [c for c in range(self.n_clusters)
+                if c not in self.dead_clusters]
+
+    def mark_dead(self, cluster_id: ClusterId) -> None:
+        """Record a crash and fail any server over to its backup.
+
+        Idempotent: every surviving cluster's detector calls this.
+        """
+        if cluster_id in self.dead_clusters:
+            return
+        self.dead_clusters.add(cluster_id)
+        for info in self.servers.values():
+            if info.primary_cluster == cluster_id:
+                if info.backup_cluster is None or \
+                        info.backup_cluster in self.dead_clusters:
+                    # Both homes gone: a genuine double failure.  Degrade
+                    # rather than crash the survivors — lookups of this
+                    # server will fail until an operator intervenes.
+                    info.primary_cluster = None
+                    info.backup_cluster = None
+                    continue
+                info.primary_cluster = info.backup_cluster
+                info.backup_cluster = None
+            elif info.backup_cluster == cluster_id:
+                info.backup_cluster = None
+
+    def mark_restored(self, cluster_id: ClusterId) -> None:
+        self.dead_clusters.discard(cluster_id)
+
+    # -- placement policy -------------------------------------------------------
+
+    def default_backup_cluster(self, home: ClusterId) -> ClusterId:
+        """Where a process created in ``home`` keeps its backup: the next
+        live cluster by index (wrapping)."""
+        for offset in range(1, self.n_clusters):
+            candidate = (home + offset) % self.n_clusters
+            if candidate not in self.dead_clusters:
+                return candidate
+        raise DirectoryError("no live cluster available for a backup")
+
+    def fullback_backup_cluster(self, new_home: ClusterId,
+                                crashed: ClusterId) -> ClusterId:
+        """Placement for a fullback's re-created backup: the next live
+        cluster that is neither the new primary's cluster nor the crashed
+        one (a fullback system needs >= 3 clusters, section 7.3)."""
+        for offset in range(1, self.n_clusters):
+            candidate = (new_home + offset) % self.n_clusters
+            if candidate in self.dead_clusters:
+                continue
+            if candidate in (new_home, crashed):
+                continue
+            return candidate
+        raise DirectoryError(
+            "fullback backup re-creation needs a third live cluster")

@@ -1,0 +1,82 @@
+"""Piggybacked nondeterministic-event logging (section 10 extension).
+
+The paper's future-work section sketches how to back up nondeterministic
+events (asynchronous IO, shared memory, local clock reads) without a
+message per event: buffer the results, attach them to the *next ordinary
+outgoing message* — whose copy the sender's backup sees anyway — and on
+recovery replay the logged results deterministically.  A crash before any
+message escaped wipes all evidence of the events, so the backup may redo
+them nondeterministically without anyone observing an inconsistency.
+
+We implement it for the ``ReadClock`` action (a local, environmental clock
+read, normally forbidden to deterministic processes):
+
+* the primary kernel buffers each result in the process's
+  :class:`NondetBuffer`;
+* every counted user-message send carries the buffered values in its
+  envelope and clears the buffer;
+* the SENDER_BACKUP delivery appends them to a :class:`NondetSavedLog` at
+  the backup cluster;
+* a promoted backup consumes the saved log before generating fresh values;
+* a sync clears both sides (pre-sync events are embedded in synced state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Tuple
+
+from ..types import Pid
+
+
+@dataclass
+class NondetBuffer:
+    """Primary-side buffer of not-yet-piggybacked event results."""
+
+    pending: List[Any] = field(default_factory=list)
+    produced_total: int = 0
+
+    def record(self, value: Any) -> None:
+        self.pending.append(value)
+        self.produced_total += 1
+
+    def take_for_piggyback(self) -> Tuple[Any, ...]:
+        """Drain the buffer into a message envelope."""
+        values = tuple(self.pending)
+        self.pending.clear()
+        return values
+
+    def clear_on_sync(self) -> None:
+        self.pending.clear()
+
+
+class NondetSavedLog:
+    """Backup-cluster store of piggybacked event results, per process."""
+
+    def __init__(self) -> None:
+        self._saved: Dict[Pid, Deque[Any]] = {}
+
+    def append(self, pid: Pid, values: Tuple[Any, ...]) -> None:
+        if not values:
+            return
+        self._saved.setdefault(pid, deque()).extend(values)
+
+    def consume(self, pid: Pid) -> Any:
+        """Pop the oldest logged value for a replaying process, or raise
+        ``LookupError`` if no evidence survives (the caller then performs
+        the event afresh, which section 10 argues is consistent)."""
+        queue = self._saved.get(pid)
+        if not queue:
+            raise LookupError(f"no saved nondet events for pid {pid}")
+        return queue.popleft()
+
+    def pending_count(self, pid: Pid) -> int:
+        queue = self._saved.get(pid)
+        return len(queue) if queue else 0
+
+    def clear_on_sync(self, pid: Pid) -> None:
+        self._saved.pop(pid, None)
+
+    def drop(self, pid: Pid) -> None:
+        self._saved.pop(pid, None)

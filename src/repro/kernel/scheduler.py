@@ -1,0 +1,476 @@
+"""Process scheduling and the step-execution engine.
+
+Work processors run processes action by action.  At every step boundary
+the engine performs the paper's kernel duties in a fixed order:
+
+1. resolve whatever the process was blocked on (message arrival, open
+   reply, page-in);
+2. sync if a trigger fired — reads-since-sync, execution time, or a forced
+   sync (7.8);
+3. deliver a pending asynchronous signal, forcing a sync just prior to
+   handling it (7.5.2);
+4. run one program step inside a memory/register transaction and perform
+   the returned action.
+
+A :class:`~repro.paging.PageFault` aborts the step with no side effects;
+the process blocks until the page server supplies the page, then the step
+re-runs — that is how a freshly promoted backup "gradually brings its
+address space into memory" (7.10.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, TYPE_CHECKING
+
+from ..hardware.processor import WorkProcessor
+from ..messages.payloads import EOFMarker, OpenReply
+from ..messages.routing import EntryStatus, PeerKind
+from ..paging import MemoryTxn, PageFault
+from ..programs.actions import (Alarm, Close, Compute, Exit, Fork, GetPid,
+                                GetTime, Open, Poll, Read, ReadAny,
+                                ReadClock, Write, Yield)
+from ..programs.program import StepContext
+from ..types import Pid, Ticks
+from .pcb import BlockInfo, ProcState, ProcessControlBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import ClusterKernel
+
+
+class SchedulerError(Exception):
+    """Raised when a program returns an unhandled action type."""
+
+
+class Scheduler:
+    """Per-cluster ready queue plus the action interpreter.
+
+    Two-level priority: server processes (and crash handling, which runs
+    through a separate gate) ahead of normal user processes, matching the
+    paper's "very high priority" treatment of system work.
+    """
+
+    def __init__(self, kernel: "ClusterKernel") -> None:
+        self.kernel = kernel
+        self._ready_high: Deque[Pid] = deque()
+        self._ready_normal: Deque[Pid] = deque()
+
+    # -- queue management ---------------------------------------------------
+
+    def make_ready(self, pcb: ProcessControlBlock) -> None:
+        if pcb.state in (ProcState.RUNNING, ProcState.READY,
+                         ProcState.EXITED):
+            if pcb.state is ProcState.READY:
+                self.dispatch()
+            return
+        pcb.state = ProcState.READY
+        # pcb.block stays: _step resolves the pending action on resume.
+        queue = self._ready_high if pcb.is_server else self._ready_normal
+        queue.append(pcb.pid)
+        self.dispatch()
+
+    def _pop_ready(self) -> Optional[ProcessControlBlock]:
+        for queue in (self._ready_high, self._ready_normal):
+            while queue:
+                pid = queue.popleft()
+                pcb = self.kernel.pcbs.get(pid)
+                if pcb is not None and pcb.state is ProcState.READY:
+                    return pcb
+        return None
+
+    def has_ready(self) -> bool:
+        return any(self.kernel.pcbs.get(pid) is not None
+                   and self.kernel.pcbs[pid].state is ProcState.READY
+                   for queue in (self._ready_high, self._ready_normal)
+                   for pid in queue)
+
+    def dispatch(self) -> None:
+        """Assign ready processes to idle work processors."""
+        if not self.kernel.alive or self.kernel.crash_handling:
+            return
+        for proc in self.kernel.cluster.work_processors:
+            if not proc.idle:
+                continue
+            pcb = self._pop_ready()
+            if pcb is None:
+                return
+            self._assign(proc, pcb)
+
+    def _assign(self, proc: WorkProcessor, pcb: ProcessControlBlock) -> None:
+        pcb.state = ProcState.RUNNING
+        pcb.on_processor = proc.index
+        pcb.quantum_used = 0
+        proc.current_pid = pcb.pid
+        cost = self.kernel.config.costs.context_switch
+        self._charge(proc, pcb, cost, "context_switch")
+        self.kernel.sim.call_after(cost, lambda: self._step(proc, pcb),
+                                   label=f"sched.start:{pcb.pid}")
+
+    def _release(self, proc: WorkProcessor,
+                 pcb: Optional[ProcessControlBlock]) -> None:
+        proc.current_pid = None
+        if pcb is not None:
+            pcb.on_processor = None
+        self.dispatch()
+
+    def _charge(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                cost: Ticks, activity: str) -> None:
+        self.kernel.metrics.add_busy(proc.resource_name, activity, cost)
+        pcb.note_exec(cost)
+
+    def _gone(self, pcb: ProcessControlBlock) -> bool:
+        """Has this exact PCB been exited, failed, or replaced (a restart
+        reuses the pid but not the object) since the continuation was
+        scheduled?"""
+        return (not self.kernel.alive
+                or self.kernel.pcbs.get(pcb.pid) is not pcb
+                or pcb.state is ProcState.EXITED)
+
+    # -- the step engine ------------------------------------------------------
+
+    def _step(self, proc: WorkProcessor, pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        if not kernel.alive:
+            return
+        if self._gone(pcb):
+            self._release(proc, pcb)
+            return
+
+        # 1. Resolve a pending block.
+        if pcb.block is not None and pcb.block.kind != "page":
+            if not self._resolve_block(proc, pcb):
+                return  # still blocked; processor released inside
+        elif pcb.block is not None:
+            pcb.block = None  # page installed; the step below retries
+
+        # 2a. Baseline checkpointing (section 2 comparison), if enabled.
+        if pcb.checkpoint_every is not None \
+                and pcb.backup_cluster is not None \
+                and pcb.ops_since_checkpoint >= pcb.checkpoint_every:
+            self._do_checkpoint(proc, pcb)
+            return
+
+        # 2b. Sync triggers (7.8).  A pending full-sync target (backup
+        # re-creation) fires even when the process currently has no
+        # backup cluster at all.
+        if (pcb.backup_cluster is not None or
+                pcb.full_sync_target is not None) and pcb.sync_due():
+            self._do_sync(proc, pcb)
+            return
+
+        # 3. Asynchronous signals (7.5.2): sync just prior to handling.
+        signal = kernel.check_signals(pcb)
+        if signal is not None:
+            if pcb.backup_cluster is not None:
+                self._do_sync(proc, pcb, then_signal=True)
+                return
+            self._handle_signal(proc, pcb)
+            return
+
+        # 4. One program step.
+        self._run_program_step(proc, pcb)
+
+    def _resolve_block(self, proc: WorkProcessor,
+                       pcb: ProcessControlBlock) -> bool:
+        """Try to complete the blocked action.  Returns True when the
+        process may continue (block resolved), False when it re-blocked."""
+        kernel = self.kernel
+        block = pcb.block
+        assert block is not None
+        result = kernel.try_consume(pcb, block.fds)
+        if result is None:
+            pcb.state = (ProcState.BLOCKED_OPEN if block.kind == "open"
+                         else ProcState.BLOCKED_READ)
+            self._release(proc, pcb)
+            return False
+        fd, payload = result
+        if block.kind == "read_any":
+            pcb.regs["rv"] = (fd, payload)
+        elif block.kind == "open":
+            pcb.regs["rv"] = self._finish_open(pcb, payload)
+        else:  # "read" / "reply"
+            pcb.regs["rv"] = payload
+        pcb.block = None
+        return True
+
+    def _finish_open(self, pcb: ProcessControlBlock, payload: Any) -> Any:
+        if not isinstance(payload, OpenReply):
+            raise SchedulerError(
+                f"pid {pcb.pid}: expected OpenReply, got {payload!r}")
+        if payload.error is not None:
+            return None
+        fd = pcb.alloc_fd(payload.channel_id)
+        entry = self.kernel.routing.get(payload.channel_id, pcb.pid)
+        if entry is not None:
+            entry.fd = fd
+        return fd
+
+    def _do_checkpoint(self, proc: WorkProcessor,
+                       pcb: ProcessControlBlock) -> None:
+        from ..baselines.checkpointing import perform_checkpoint
+
+        stall = perform_checkpoint(self.kernel, pcb)
+        self._charge(proc, pcb, stall, "checkpoint_stall")
+        def resume() -> None:
+            if not self.kernel.alive:
+                return
+            if self._gone(pcb):
+                self._release(proc, pcb)
+                return
+            self._step(proc, pcb)
+
+        self.kernel.sim.call_after(stall, resume,
+                                   label=f"sched.checkpoint:{pcb.pid}")
+
+    def _do_sync(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                 then_signal: bool = False) -> None:
+        from ..backup.sync import perform_sync
+
+        stall = perform_sync(self.kernel, pcb)
+        self._charge(proc, pcb, stall, "sync_stall")
+        pcb.exec_since_sync = 0
+
+        def resume() -> None:
+            if not self.kernel.alive:
+                return
+            if self._gone(pcb):
+                self._release(proc, pcb)
+                return
+            if then_signal:
+                self._handle_signal(proc, pcb)
+            else:
+                self._step(proc, pcb)
+
+        self.kernel.sim.call_after(stall, resume,
+                                   label=f"sched.sync:{pcb.pid}")
+
+    def _handle_signal(self, proc: WorkProcessor,
+                       pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        # Run the handler against the *peeked* signal: if it page-faults
+        # (a freshly promoted backup handling a replayed signal), nothing
+        # has been consumed or committed and the whole step retries once
+        # the page arrives.
+        payload = kernel.peek_signal(pcb)
+        txn = MemoryTxn(pcb.space)
+        regs = dict(pcb.regs)
+        ctx = StepContext(pid=pcb.pid, mem=txn, regs=regs)
+        try:
+            pcb.program.on_signal(ctx, payload)
+        except PageFault as fault:
+            kernel.page_fault(pcb, fault.page_no)
+            self._release(proc, pcb)
+            return
+        kernel.consume_signal(pcb)
+        regs["_sig_seen"] = payload.seq  # survives the regs swap below
+        txn.commit()
+        pcb.regs = regs
+        cost = kernel.config.costs.syscall_overhead
+        self._charge(proc, pcb, cost, "signal")
+        kernel.sim.call_after(cost, lambda: self._continue(proc, pcb),
+                              label=f"sched.signal:{pcb.pid}")
+
+    def _run_program_step(self, proc: WorkProcessor,
+                          pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        txn = MemoryTxn(pcb.space)
+        regs = dict(pcb.regs)
+        ctx = StepContext(pid=pcb.pid, mem=txn, regs=regs)
+        try:
+            action = pcb.program.step(ctx)
+        except PageFault as fault:
+            kernel.page_fault(pcb, fault.page_no)
+            self._release(proc, pcb)
+            return
+        # Commit the step's memory and register effects, then act.
+        txn.commit()
+        pcb.regs = regs
+        pcb.total_steps += 1
+        pcb.ops_since_checkpoint += 1
+        self._perform_action(proc, pcb, action)
+
+    # -- action interpretation ---------------------------------------------
+
+    def _perform_action(self, proc: WorkProcessor,
+                        pcb: ProcessControlBlock, action: Any) -> None:
+        kernel = self.kernel
+        costs = kernel.config.costs
+
+        if isinstance(action, Compute):
+            self._charge(proc, pcb, action.cost, "user")
+            kernel.sim.call_after(action.cost,
+                                  lambda: self._continue(proc, pcb),
+                                  label=f"sched.compute:{pcb.pid}")
+            return
+
+        if isinstance(action, Exit):
+            kernel.exit_process(pcb, action.code)
+            self._release(proc, pcb)
+            return
+
+        # Everything else pays syscall entry/exit.
+        overhead = costs.syscall_overhead
+        self._charge(proc, pcb, overhead, "syscall")
+
+        def later(fn) -> None:
+            def checked() -> None:
+                if not kernel.alive:
+                    return
+                if self._gone(pcb):
+                    self._release(proc, pcb)
+                    return
+                fn()
+            kernel.sim.call_after(overhead, checked,
+                                  label=f"sched.sys:{pcb.pid}")
+
+        if isinstance(action, Read):
+            later(lambda: self._begin_block(proc, pcb, "read",
+                                            (action.fd,)))
+        elif isinstance(action, ReadAny):
+            later(lambda: self._begin_block(proc, pcb, "read_any",
+                                            tuple(action.fds)))
+        elif isinstance(action, Write):
+            later(lambda: self._do_write(proc, pcb, action))
+        elif isinstance(action, Open):
+            later(lambda: self._do_open(proc, pcb, action))
+        elif isinstance(action, Close):
+            later(lambda: self._do_close(proc, pcb, action))
+        elif isinstance(action, Fork):
+            later(lambda: self._do_fork(proc, pcb, action))
+        elif isinstance(action, GetPid):
+            pcb.regs["rv"] = pcb.pid
+            later(lambda: self._continue(proc, pcb))
+        elif isinstance(action, GetTime):
+            later(lambda: self._do_gettime(proc, pcb))
+        elif isinstance(action, Alarm):
+            later(lambda: self._do_alarm(proc, pcb, action))
+        elif isinstance(action, ReadClock):
+            pcb.regs["rv"] = kernel.read_clock(pcb)
+            later(lambda: self._continue(proc, pcb))
+        elif isinstance(action, Poll):
+            pcb.regs["rv"] = kernel.poll_read(pcb, action.fd)
+            later(lambda: self._continue(proc, pcb))
+        elif isinstance(action, Yield):
+            pcb.regs["rv"] = True
+            later(lambda: self._requeue(proc, pcb))
+        else:
+            handler = kernel.action_handlers.get(type(action))
+            if handler is None:
+                raise SchedulerError(
+                    f"pid {pcb.pid}: unknown action {action!r}")
+            cost, rv = handler(kernel, pcb, action)
+            pcb.regs["rv"] = rv
+            if cost:
+                self._charge(proc, pcb, cost, "privileged")
+            kernel.sim.call_after(overhead + cost,
+                                  lambda: self._continue(proc, pcb),
+                                  label=f"sched.priv:{pcb.pid}")
+
+    def _begin_block(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                     kind: str, fds: tuple) -> None:
+        pcb.block = BlockInfo(kind=kind, fds=fds)
+        if self._resolve_block(proc, pcb):
+            self._continue(proc, pcb)
+
+    def _do_write(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                  action: Write) -> None:
+        kernel = self.kernel
+        chan = pcb.channel_for_fd(action.fd)
+        if chan is None:
+            raise SchedulerError(f"pid {pcb.pid}: write on bad fd "
+                                 f"{action.fd}")
+        entry = kernel.routing.require(chan, pcb.pid)
+        kernel.send_user_message(pcb, entry, action.payload,
+                                 size=action.size_bytes)
+        if action.await_reply:
+            self._begin_block(proc, pcb, "reply", (action.fd,))
+        else:
+            pcb.regs["rv"] = True
+            self._continue(proc, pcb)
+
+    def _do_open(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                 action: Open) -> None:
+        from ..messages.payloads import OpenRequest
+        from ..backup.modes import BackupMode
+
+        kernel = self.kernel
+        fs_fd = pcb.fs_channel_fd
+        chan = pcb.channel_for_fd(fs_fd)
+        entry = kernel.routing.require(chan, pcb.pid)
+        opener_seq = pcb.regs.get("_open_seq", 0) + 1
+        pcb.regs["_open_seq"] = opener_seq
+        request = OpenRequest(
+            name=action.name, opener_pid=pcb.pid,
+            opener_cluster=kernel.cluster_id,
+            opener_backup_cluster=pcb.backup_cluster,
+            reply_channel=chan,
+            opener_fullback=(pcb.backup_mode is BackupMode.FULLBACK),
+            opener_seq=opener_seq)
+        kernel.send_user_message(pcb, entry, request, size=64)
+        self._begin_block(proc, pcb, "open", (fs_fd,))
+
+    def _do_close(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                  action: Close) -> None:
+        kernel = self.kernel
+        chan = pcb.channel_for_fd(action.fd)
+        if chan is None:
+            raise SchedulerError(f"pid {pcb.pid}: close on bad fd "
+                                 f"{action.fd}")
+        entry = kernel.routing.require(chan, pcb.pid)
+        if entry.peer_kind is PeerKind.USER and entry.peer_pid is not None \
+                and entry.status is EntryStatus.OPEN:
+            kernel.send_user_message(pcb, entry, EOFMarker(pcb.pid),
+                                     size=16)
+        entry.status = EntryStatus.CLOSED
+        pcb.closed_since_sync.append(chan)
+        del pcb.fds[action.fd]
+        pcb.regs["rv"] = True
+        self._continue(proc, pcb)
+
+    def _do_fork(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                 action: Fork) -> None:
+        child_pid = self.kernel.fork_child(pcb, action.child_program)
+        pcb.regs["rv"] = child_pid
+        self._continue(proc, pcb)
+
+    def _do_gettime(self, proc: WorkProcessor,
+                    pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        chan = pcb.channel_for_fd(pcb.ps_channel_fd)
+        entry = kernel.routing.require(chan, pcb.pid)
+        kernel.send_user_message(pcb, entry, ("time",), size=16)
+        self._begin_block(proc, pcb, "reply", (pcb.ps_channel_fd,))
+
+    def _do_alarm(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                  action: Alarm) -> None:
+        seq = pcb.regs.get("_alarm_seq", 0) + 1
+        pcb.regs["_alarm_seq"] = seq
+        self.kernel.schedule_alarm(pcb, seq, action.delay)
+        pcb.regs["rv"] = True
+        self._continue(proc, pcb)
+
+    # -- continuation / quantum -------------------------------------------
+
+    def _continue(self, proc: WorkProcessor,
+                  pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        if not kernel.alive:
+            return
+        if self._gone(pcb) or pcb.state is not ProcState.RUNNING:
+            self._release(proc, pcb)
+            return
+        if kernel.crash_handling:
+            self._requeue(proc, pcb)
+            return
+        if pcb.quantum_used >= kernel.config.costs.quantum \
+                and self.has_ready():
+            self._requeue(proc, pcb)
+            return
+        self._step(proc, pcb)
+
+    def _requeue(self, proc: WorkProcessor,
+                 pcb: ProcessControlBlock) -> None:
+        pcb.state = ProcState.READY
+        queue = self._ready_high if pcb.is_server else self._ready_normal
+        queue.append(pcb.pid)
+        self._release(proc, pcb)

@@ -1,0 +1,21 @@
+"""The message system: messages, payloads, routing tables."""
+
+from .message import (Delivery, DeliveryRole, Message, MessageKind,
+                      QueuedMessage)
+from .routing import (EntryStatus, PeerKind, RoutingEntry, RoutingError,
+                      RoutingTable)
+from . import payloads
+
+__all__ = [
+    "Delivery",
+    "DeliveryRole",
+    "Message",
+    "MessageKind",
+    "QueuedMessage",
+    "EntryStatus",
+    "PeerKind",
+    "RoutingEntry",
+    "RoutingError",
+    "RoutingTable",
+    "payloads",
+]

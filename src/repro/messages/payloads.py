@@ -1,0 +1,198 @@
+"""Structured message payloads.
+
+Programs may send any immutable payload; the kernel and servers use the
+dataclasses below for protocol traffic.  Everything here must be treated as
+immutable once sent — the simulator delivers payloads by reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..paging.addrspace import PageData
+from ..types import ChannelId, ClusterId, Fd, Pid, Ticks
+
+
+@dataclass(frozen=True)
+class EOFMarker:
+    """Sent on a user channel when the writer closes it or exits; a read
+    returning this payload is the deterministic equivalent of UNIX EOF."""
+
+    from_pid: Pid
+
+
+def is_eof(payload: Any) -> bool:
+    """Is a read result an end-of-channel marker?"""
+    return isinstance(payload, EOFMarker)
+
+
+@dataclass(frozen=True)
+class SignalPayload:
+    """An asynchronous signal delivered on the signal channel (7.5.2)."""
+
+    signal: str              # "alarm", "interrupt", ...
+    seq: int                 # per-process dedup sequence (alarm replay)
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class OpenRequest:
+    """User -> file server: open a name (7.4.1)."""
+
+    name: str
+    opener_pid: Pid
+    opener_cluster: ClusterId
+    opener_backup_cluster: Optional[ClusterId]
+    #: The opener's fs-channel id: replies travel back on it.
+    reply_channel: ChannelId
+    opener_fullback: bool = False
+    #: The opener's per-process open counter (deterministic, synced): lets
+    #: the file server derive channel ids as a pure function of the
+    #: request, so re-serviced opens allocate identically everywhere.
+    opener_seq: int = 0
+
+
+@dataclass(frozen=True)
+class OpenReply:
+    """File server -> opener (and opener's backup): channel established.
+
+    Arrival creates the routing table entry at both the opener's cluster
+    and its backup cluster (7.4.1: "The arrival of an open reply at a
+    backup cluster causes the creation of the backup routing table
+    entry").
+    """
+
+    name: str
+    channel_id: ChannelId
+    peer_pid: Pid
+    peer_cluster: ClusterId
+    peer_backup_cluster: Optional[ClusterId]
+    peer_is_server: bool
+    peer_fullback: bool = False
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ChannelDelta:
+    """Per-channel information in a sync message (7.8): carried only for
+    channels that changed (opened / read / written / closed) since the
+    last sync."""
+
+    channel_id: ChannelId
+    fd: Optional[Fd]
+    reads_since_sync: int
+    opened: bool = False
+    closed: bool = False
+    #: Full peer routing, present only in *full* syncs (halfback backup
+    #: re-creation ships every channel, not deltas).
+    peer_pid: Optional[Pid] = None
+    peer_cluster: Optional[ClusterId] = None
+    peer_backup_cluster: Optional[ClusterId] = None
+    peer_is_server: bool = False
+    #: Full syncs also transfer the channel's unconsumed input queue (the
+    #: new backup must be able to replay messages the primary has not read
+    #: yet); a tuple of Message objects in arrival order.
+    queue_snapshot: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class SyncPayload:
+    """The sync message (5.2, 7.8): the small cluster-independent state
+    snapshot sent to the backup's kernel and to the page server."""
+
+    pid: Pid
+    sync_seq: int
+    regs: Dict[str, Any]
+    fds: Dict[Fd, ChannelId]
+    next_fd: Fd
+    channel_deltas: Tuple[ChannelDelta, ...]
+    pending_alarms: Tuple[Tuple[int, Ticks], ...]  # (seq, remaining delay)
+    #: First sync of a new child: the backup cluster creates the backup
+    #: process from its stored birth notice (7.7 event 1).
+    create_backup: bool = False
+    #: Full sync (backup re-creation): deltas carry complete channel info
+    #: and the receiving cluster builds the record from scratch.
+    full: bool = False
+    program: Any = None              # Program, only on full syncs
+    backup_mode: Any = None          # BackupMode, only on full syncs
+    family_head: Optional[Pid] = None
+    is_server: bool = False
+    sync_reads_threshold: int = 0
+    sync_time_threshold: Ticks = 0
+    #: Cluster the primary is executing in when it syncs.
+    home_cluster: Optional[ClusterId] = None
+    #: Well-known kernel channels (cluster-independent process state).
+    signal_channel: Optional[ChannelId] = None
+    page_channel: Optional[ChannelId] = None
+    fs_channel_fd: Optional[Fd] = None
+    ps_channel_fd: Optional[Fd] = None
+
+
+@dataclass(frozen=True)
+class PageOut(object):
+    """Kernel -> page server: store a modified page (7.6)."""
+
+    pid: Pid
+    page_no: int
+    data: PageData
+    sync_seq: int
+
+
+@dataclass(frozen=True)
+class PageIn:
+    """Kernel -> page server: demand a page for a recovering process."""
+
+    pid: Pid
+    page_no: int
+    from_backup: bool
+    reply_cluster: ClusterId
+
+
+@dataclass(frozen=True)
+class PageReply:
+    """Page server -> faulting kernel (kernel-internal delivery)."""
+
+    pid: Pid
+    page_no: int
+    data: Optional[PageData]
+
+
+@dataclass(frozen=True)
+class PageAccountOp:
+    """Kernel -> page server: account maintenance ('promote' when a backup
+    takes over, 'drop' when a process exits)."""
+
+    op: str
+    pid: Pid
+
+
+@dataclass(frozen=True)
+class ExitNotice:
+    """Kernel -> backup cluster kernel: primary exited cleanly; tear down
+    the backup record, its entries and saved queues."""
+
+    pid: Pid
+    code: int
+
+
+@dataclass(frozen=True)
+class BackupReady:
+    """Broadcast after a new backup is installed (fullback re-creation or
+    halfback re-creation): every cluster repairs peer routing and releases
+    held messages (7.10.1 step 1)."""
+
+    pid: Pid
+    backup_cluster: ClusterId
+
+
+@dataclass(frozen=True)
+class ServerSync:
+    """Peripheral server primary -> active backup (7.9): internal state
+    snapshot plus per-channel serviced counts so the backup can discard
+    requests already handled."""
+
+    server_pid: Pid
+    seq: int
+    state: Any
+    serviced: Tuple[Tuple[ChannelId, int], ...]

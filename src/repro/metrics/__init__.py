@@ -1,0 +1,14 @@
+"""Instrumentation: counters, busy-time accounting, report tables."""
+
+from .counters import IntervalStats, MetricSet
+from .machinereport import machine_report
+from .report import format_percent, format_ratio, format_table
+
+__all__ = [
+    "IntervalStats",
+    "MetricSet",
+    "format_percent",
+    "format_ratio",
+    "format_table",
+    "machine_report",
+]

@@ -1,0 +1,113 @@
+"""Metric collection for simulation runs.
+
+The paper's evaluation (section 8) argues about *where* overhead lands:
+bus transmissions per message, executive-processor versus work-processor
+time, sync stall on the primary, recovery latency.  :class:`MetricSet`
+records exactly those quantities so the benchmark harness can print them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class IntervalStats:
+    """Summary statistics over recorded integer samples."""
+
+    count: int
+    total: int
+    minimum: int
+    maximum: int
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricSet:
+    """Named counters, integer samples, and busy-time accumulators.
+
+    Three kinds of metric cover everything the experiments need:
+
+    * **counters** — monotonically increasing event counts
+      (``bus.transmissions``, ``sync.performed``, ...);
+    * **samples** — per-event integer measurements aggregated into
+      :class:`IntervalStats` (``sync.stall_ticks``, ``recovery.latency``);
+    * **busy time** — total ticks a named resource spent occupied, split by
+      activity (``executive[c0].deliver_backup``, ``work[c1].user``), the
+      paper's work-versus-executive accounting.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._samples: Dict[str, List[int]] = defaultdict(list)
+        self._busy: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {name: value for name, value in self._counters.items()
+                if name.startswith(prefix)}
+
+    # -- samples ----------------------------------------------------------
+
+    def record(self, name: str, value: int) -> None:
+        """Append one sample to series ``name``."""
+        self._samples[name].append(value)
+
+    def series(self, name: str) -> List[int]:
+        """Raw samples recorded under ``name`` (empty list if none)."""
+        return list(self._samples.get(name, []))
+
+    def stats(self, name: str) -> Optional[IntervalStats]:
+        """Aggregate statistics for series ``name``, or ``None`` if empty."""
+        samples = self._samples.get(name)
+        if not samples:
+            return None
+        return IntervalStats(count=len(samples), total=sum(samples),
+                             minimum=min(samples), maximum=max(samples))
+
+    # -- busy time --------------------------------------------------------
+
+    def add_busy(self, resource: str, activity: str, ticks: int) -> None:
+        """Account ``ticks`` of ``resource`` time to ``activity``."""
+        self._busy[(resource, activity)] += ticks
+
+    def busy(self, resource: str, activity: Optional[str] = None) -> int:
+        """Total busy ticks for ``resource`` (optionally one activity)."""
+        if activity is not None:
+            return self._busy.get((resource, activity), 0)
+        return sum(ticks for (res, _), ticks in self._busy.items()
+                   if res == resource)
+
+    def busy_breakdown(self, resource: str) -> Dict[str, int]:
+        """Mapping activity -> ticks for one resource."""
+        return {act: ticks for (res, act), ticks in self._busy.items()
+                if res == resource}
+
+    def busy_resources(self) -> List[str]:
+        """Sorted list of resource names with any recorded busy time."""
+        return sorted({res for (res, _) in self._busy})
+
+    # -- reporting --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict snapshot (counters, sample stats, busy totals)."""
+        return {
+            "counters": dict(self._counters),
+            "samples": {name: self.stats(name) for name in self._samples},
+            "busy": {f"{res}:{act}": ticks
+                     for (res, act), ticks in self._busy.items()},
+        }

@@ -1,0 +1,75 @@
+"""One-call machine report: where did the time and bytes go?
+
+Summarizes a finished run in the terms the paper's section 8 argues in:
+work-processor versus executive-processor busy time (and what each spent
+it on), bus occupancy by message class, sync/recovery activity.  Used by
+examples and handy in a REPL::
+
+    print(machine_report(machine))
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from .report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.machine import Machine
+
+
+def machine_report(machine: "Machine") -> str:
+    """Render a multi-table utilization and activity report."""
+    metrics = machine.metrics
+    now = max(machine.sim.now, 1)
+    sections: List[str] = []
+
+    # -- processors ---------------------------------------------------------
+    rows = []
+    for cluster in machine.clusters:
+        for proc in cluster.work_processors:
+            busy = metrics.busy(proc.resource_name)
+            breakdown = metrics.busy_breakdown(proc.resource_name)
+            user = breakdown.get("user", 0) + breakdown.get("syscall", 0)
+            ft = (breakdown.get("sync_stall", 0)
+                  + breakdown.get("checkpoint_stall", 0)
+                  + breakdown.get("crash_handling", 0))
+            rows.append([proc.resource_name, f"{100 * busy / now:.1f}%",
+                         user, ft])
+        name = cluster.executive.resource_name
+        busy = metrics.busy(name)
+        breakdown = metrics.busy_breakdown(name)
+        backup_work = sum(t for a, t in breakdown.items()
+                          if "backup" in a or a.startswith("apply_"))
+        rows.append([name, f"{100 * busy / now:.1f}%",
+                     busy - backup_work, backup_work])
+    sections.append(format_table(
+        ["processor", "utilization", "base work (ticks)",
+         "FT work (ticks)"],
+        rows, title=f"processors over {now} ticks"))
+
+    # -- bus ----------------------------------------------------------------
+    bus_rows = [[activity, ticks]
+                for activity, ticks in
+                sorted(metrics.busy_breakdown("bus").items())]
+    bus_rows.append(["(total bytes)", metrics.counter("bus.bytes")])
+    bus_rows.append(["(transmissions)",
+                     metrics.counter("bus.transmissions")])
+    sections.append(format_table(["bus activity", "value"], bus_rows,
+                                 title="intercluster bus"))
+
+    # -- fault tolerance activity ----------------------------------------------
+    ft_rows = []
+    for name in ("sync.performed", "sync.applied", "sync.pages",
+                 "checkpoint.performed", "backup.birth_notices",
+                 "backup.records_created", "recovery.promotions",
+                 "recovery.sends_suppressed", "recovery.crash_handlings",
+                 "procfail.promotions", "server.promotions",
+                 "paging.faults", "tty.duplicates_dropped"):
+        value = metrics.counter(name)
+        if value:
+            ft_rows.append([name, value])
+    if ft_rows:
+        sections.append(format_table(["fault-tolerance activity", "count"],
+                                     ft_rows, title="FT machinery"))
+    return "\n\n".join(sections)

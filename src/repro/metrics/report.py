@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same kind of rows the paper's evaluation
+discusses (overhead percentages, per-message costs, recovery latencies).
+This module keeps that formatting in one place so every experiment report
+looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; floats are shown with
+    three decimal places.  Returns the table as a single string.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_render_cell(cell) for cell in row])
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str], pad: str = " ") -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[index], pad))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(header) for header in headers]))
+    out.append(separator)
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _render_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Render a ratio like ``1.73x`` (``inf`` denominator-safe)."""
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"
+
+
+def format_percent(part: float, whole: float) -> str:
+    """Render ``part/whole`` as a percentage string."""
+    if whole == 0:
+        return "n/a"
+    return f"{100.0 * part / whole:.1f}%"

@@ -1,0 +1,18 @@
+"""Paged address spaces, transactional access, and page accounts."""
+
+from .addrspace import (AddressSpace, Cell, MemoryError_, MemoryTxn,
+                        PageData, PageFault, Variable)
+from .store import PageAccount, PageStore, PageStoreError
+
+__all__ = [
+    "AddressSpace",
+    "Cell",
+    "MemoryError_",
+    "MemoryTxn",
+    "PageData",
+    "PageFault",
+    "Variable",
+    "PageAccount",
+    "PageStore",
+    "PageStoreError",
+]

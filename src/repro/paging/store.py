@@ -1,0 +1,174 @@
+"""The page store: per-process page accounts on the paging disk.
+
+Section 7.6: "The page server keeps one account for a primary process, and
+another for its backup.  The backup's account contains all modified pages
+in their state as of last synchronization."
+
+This module is the *mechanism* the page server process (in
+:mod:`repro.servers.pageserver`) wraps: accounts are indexes from
+``(pid, page_no)`` to blocks on a dual-ported mirrored disk.  Page-outs are
+copy-on-write — a new block is allocated, so the backup account keeps
+pointing at the page as of the last sync ("two copies will be kept only of
+those pages which have been modified since sync", section 7.8).  On sync
+the backup index becomes identical to the primary index and superseded
+blocks are freed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..hardware.disk import MirroredDisk
+from ..paging.addrspace import PageData
+from ..types import ClusterId, Pid, Ticks
+
+
+class PageStoreError(Exception):
+    """Raised on account misuse (unknown pid, double promotion)."""
+
+
+@dataclass
+class PageAccount:
+    """Index from page number to disk block for one process, one role."""
+
+    pid: Pid
+    blocks: Dict[int, int] = field(default_factory=dict)
+
+    def copy(self) -> "PageAccount":
+        return PageAccount(pid=self.pid, blocks=dict(self.blocks))
+
+
+class PageStore:
+    """Primary and backup page accounts over a mirrored disk.
+
+    The store is accessed through a cluster port (the page server's
+    cluster); every operation returns the virtual-time disk cost the caller
+    must account for.
+    """
+
+    def __init__(self, disk: MirroredDisk, cluster_id: ClusterId) -> None:
+        self._disk = disk
+        self._cluster = cluster_id
+        self._primary: Dict[Pid, PageAccount] = {}
+        self._backup: Dict[Pid, PageAccount] = {}
+        self._next_block = 0
+        self._free_blocks: List[int] = []
+
+    def reattach(self, cluster_id: ClusterId) -> None:
+        """Switch the access port (the backup page server takes over on the
+        disk's other port after a crash)."""
+        self._cluster = cluster_id
+
+    # -- accounts -------------------------------------------------------------
+
+    def ensure_accounts(self, pid: Pid) -> None:
+        """Create empty primary and backup accounts for a process."""
+        self._primary.setdefault(pid, PageAccount(pid=pid))
+        self._backup.setdefault(pid, PageAccount(pid=pid))
+
+    def has_accounts(self, pid: Pid) -> bool:
+        return pid in self._primary
+
+    def drop_accounts(self, pid: Pid) -> None:
+        """Free everything for an exited process."""
+        for accounts in (self._primary, self._backup):
+            account = accounts.pop(pid, None)
+            if account is None:
+                continue
+            for block_no in account.blocks.values():
+                self._release(block_no, accounts is self._primary, pid)
+
+    # -- page traffic -----------------------------------------------------------
+
+    def page_out(self, pid: Pid, page_no: int, data: PageData) -> Ticks:
+        """Store a modified page into the primary account (copy-on-write)."""
+        self.ensure_accounts(pid)
+        account = self._primary[pid]
+        old_block = account.blocks.get(page_no)
+        block_no = self._allocate()
+        cost = self._disk.write(self._cluster, block_no, tuple(data))
+        account.blocks[page_no] = block_no
+        if old_block is not None:
+            self._release_unless_referenced(old_block, pid)
+        return cost
+
+    def fetch(self, pid: Pid, page_no: int, from_backup: bool = False
+              ) -> Tuple[Optional[PageData], Ticks]:
+        """Read one page from an account; (None, cost) if never paged out."""
+        accounts = self._backup if from_backup else self._primary
+        account = accounts.get(pid)
+        if account is None or page_no not in account.blocks:
+            return None, 0
+        data, cost = self._disk.read(self._cluster, account.blocks[page_no])
+        return data, cost
+
+    def sync(self, pid: Pid) -> Ticks:
+        """Make the backup account identical to the primary's (7.8): after
+        this, only one copy of each page exists.  Index-only operation —
+        the pages themselves are already on disk."""
+        self.ensure_accounts(pid)
+        old_backup = self._backup[pid]
+        new_backup = self._primary[pid].copy()
+        # Free blocks only the old backup account still referenced.
+        primary_blocks = set(self._primary[pid].blocks.values())
+        for block_no in old_backup.blocks.values():
+            if block_no not in primary_blocks:
+                self._free_blocks.append(block_no)
+        self._backup[pid] = new_backup
+        return 0
+
+    def promote(self, pid: Pid) -> None:
+        """The backup took over: its account becomes the primary account.
+
+        The old primary account's extra blocks (pages dirtied after the
+        last sync, now rolled back) are freed.
+        """
+        if pid not in self._backup:
+            raise PageStoreError(f"no backup account for pid {pid}")
+        backup_blocks = set(self._backup[pid].blocks.values())
+        old_primary = self._primary.get(pid)
+        if old_primary is not None:
+            for block_no in old_primary.blocks.values():
+                if block_no not in backup_blocks:
+                    self._free_blocks.append(block_no)
+        self._primary[pid] = self._backup[pid].copy()
+
+    def backup_pages(self, pid: Pid) -> Set[int]:
+        """Page numbers present in the backup account."""
+        account = self._backup.get(pid)
+        return set(account.blocks) if account else set()
+
+    # -- block allocation ---------------------------------------------------
+
+    def _allocate(self) -> int:
+        if self._free_blocks:
+            return self._free_blocks.pop()
+        block_no = self._next_block
+        self._next_block += 1
+        return block_no
+
+    def _release_unless_referenced(self, block_no: int, pid: Pid) -> None:
+        backup = self._backup.get(pid)
+        if backup is not None and block_no in backup.blocks.values():
+            return  # the backup account still needs this pre-sync copy
+        self._free_blocks.append(block_no)
+
+    def _release(self, block_no: int, was_primary: bool, pid: Pid) -> None:
+        other = self._backup if was_primary else self._primary
+        account = other.get(pid)
+        if account is not None and block_no in account.blocks.values():
+            return
+        if block_no not in self._free_blocks:
+            self._free_blocks.append(block_no)
+
+    # -- introspection ----------------------------------------------------------
+
+    def live_blocks(self) -> int:
+        """Blocks currently referenced by any account (disk-space metric
+        for the two-copies-only-when-dirty claim of section 7.8)."""
+        referenced = set()
+        for accounts in (self._primary, self._backup):
+            for account in accounts.values():
+                referenced.update(account.blocks.values())
+        return len(referenced)

@@ -1,0 +1,31 @@
+"""Deterministic user-process substrate: programs, steps, actions."""
+
+from .actions import (Action, Alarm, Close, Compute, Exit, Fork, GetPid,
+                      GetTime, Open, Poll, Read, ReadAny, ReadClock, Write,
+                      Yield)
+from .program import (BusyProgram, IdleProgram, Program, ProgramError,
+                      StateProgram, StepContext)
+
+__all__ = [
+    "Action",
+    "Alarm",
+    "Close",
+    "Compute",
+    "Exit",
+    "Fork",
+    "GetPid",
+    "GetTime",
+    "Open",
+    "Poll",
+    "Read",
+    "ReadAny",
+    "ReadClock",
+    "Write",
+    "Yield",
+    "BusyProgram",
+    "IdleProgram",
+    "Program",
+    "ProgramError",
+    "StateProgram",
+    "StepContext",
+]

@@ -1,0 +1,172 @@
+"""Actions: the syscall vocabulary of simulated user processes.
+
+A program's :meth:`~repro.programs.program.Program.step` returns exactly one
+action; the kernel performs it and resumes the program with the result in
+the ``rv`` register.  The set mirrors the paper's constrained UNIX surface
+(section 7.5): synchronous reads and writes on channels, ``open``,
+``fork``, ``exit``, the new ``bunch``/``which`` grouping mechanism, and the
+message-served ``time`` and ``alarm`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+from ..types import Fd, Ticks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .program import Program
+
+
+class Action:
+    """Base class for everything a program step can request."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Action):
+    """Burn ``cost`` ticks of work-processor time (pure computation).
+
+    Memory writes made during the step commit when the step completes,
+    so Compute is also how programs mutate their data space.
+    """
+
+    cost: Ticks
+
+
+@dataclass(frozen=True)
+class Read(Action):
+    """Synchronous read of the next message on channel ``fd``.
+
+    Blocks until a message is available — section 7.5.1: a read can never
+    return "no message found", because the backup on rollforward might not
+    find its queue in the same state.  Result: the message payload.
+    """
+
+    fd: Fd
+
+
+@dataclass(frozen=True)
+class ReadAny(Action):
+    """``bunch`` + ``which``: wait for the first message on any of ``fds``.
+
+    Deterministic choice rule: the channel whose head message carries the
+    lowest cluster-arrival sequence number wins; relative arrival order is
+    identical at the backup cluster, so rollforward replays the same
+    choices.  Result: ``(fd, payload)``.
+    """
+
+    fds: Tuple[Fd, ...]
+
+
+@dataclass(frozen=True)
+class Write(Action):
+    """Send ``payload`` on channel ``fd``.
+
+    With ``await_reply=False`` the call returns as soon as the message is
+    on the cluster's outgoing queue (result: ``True``).  With
+    ``await_reply=True`` (server requests that may fail, section 7.5.1)
+    the process blocks until the next message arrives on the same channel
+    and that message's payload becomes the result.
+    """
+
+    fd: Fd
+    payload: Any
+    size_bytes: Optional[int] = None
+    await_reply: bool = False
+
+
+@dataclass(frozen=True)
+class Open(Action):
+    """Open a name through the file server (section 7.4.1).
+
+    Names: ``file:<path>`` opens a file, ``chan:<name>`` rendezvous-pairs
+    two openers into a user-to-user channel, ``tty:<n>`` opens a terminal
+    channel.  Result: the new file descriptor.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Close(Action):
+    """Close channel ``fd``.  Result: ``True``."""
+
+    fd: Fd
+
+
+@dataclass(frozen=True)
+class Fork(Action):
+    """Create a child process running ``child_program``.
+
+    ``child_program`` must be a behaviourally-stateless Program (all state
+    in memory/registers) so that re-executing the fork during rollforward
+    recreates an equivalent child.  Result: the child's pid in the parent.
+    """
+
+    child_program: "Program"
+
+
+@dataclass(frozen=True)
+class Exit(Action):
+    """Terminate the process.  ``code`` is recorded for the harness."""
+
+    code: int = 0
+
+
+@dataclass(frozen=True)
+class GetPid(Action):
+    """Result: the process's globally unique pid (cluster-independent,
+    section 7.5.1)."""
+
+
+@dataclass(frozen=True)
+class GetTime(Action):
+    """Ask the process server for the time via message (section 7.5.1
+    moved ``time`` out of the local kernel so the backup sees the same
+    answer).  Result: the server's timestamp."""
+
+
+@dataclass(frozen=True)
+class Alarm(Action):
+    """Request an alarm signal after ``delay`` ticks of real time
+    (asynchronous, delivered on the signal channel; section 7.5.2).
+    Result: ``True`` immediately."""
+
+    delay: Ticks
+
+
+@dataclass(frozen=True)
+class Poll(Action):
+    """Non-blocking read: the next message on ``fd``, or ``None`` if the
+    queue is empty *right now*.
+
+    Ordinarily forbidden — section 7.5.1 bans reads that can return "no
+    message found" because the backup's replayed queue may differ.  The
+    section 10 extension legalizes it: the empty/non-empty outcome is a
+    logged nondeterministic event, piggybacked to the sender's backup and
+    replayed during rollforward, so the recovering process polls
+    identically.  Result: the payload, or ``None``.
+    """
+
+    fd: Fd
+
+
+@dataclass(frozen=True)
+class ReadClock(Action):
+    """Read the local cluster clock — a *nondeterministic* event.
+
+    Normally forbidden to deterministic processes, this is made safe by
+    the section 10 extension: the kernel logs the result, piggybacks it on
+    the next ordinary outgoing message, and a rolling-forward backup
+    replays the logged value instead of reading its own clock.
+    Result: the tick value.
+    """
+
+
+@dataclass(frozen=True)
+class Yield(Action):
+    """Give up the processor without consuming virtual time; used by
+    service loops between requests.  Result: ``True``."""

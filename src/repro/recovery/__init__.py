@@ -1,0 +1,13 @@
+"""Failure detection, crash handling, and rollforward recovery."""
+
+from .crashhandler import begin_crash_handling
+from .detector import schedule_detection
+from .rollforward import handle_backup_ready, promote, promote_backups
+
+__all__ = [
+    "begin_crash_handling",
+    "schedule_detection",
+    "handle_backup_ready",
+    "promote",
+    "promote_backups",
+]

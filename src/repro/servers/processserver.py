@@ -1,0 +1,70 @@
+"""The process server (sections 7.5.1 and 7.6).
+
+A *system* server: it is backed up passively, exactly like a user process
+— sync messages, saved queues, rollforward — which makes it the in-tree
+demonstration that server processes "are backed up, communicate via
+message, and execute in the same way as ordinary user processes".
+
+Services:
+
+* ``("time",)`` — the UNIX ``time`` call, moved out of the local kernel so
+  a backup sees the same answer its primary did.  The server reads its
+  local clock through the section 10 nondeterministic-event log, so its
+  *own* recovery replays identical values (experiment E10).
+* ``("ping",)`` — liveness probe used by examples and tests.
+* ``("register", pid, cluster)`` / ``("whereis", pid)`` — the process
+  location registry the paper gives this server.
+"""
+
+from __future__ import annotations
+
+from ..programs.actions import Action, Compute, ReadAny, ReadClock, Write
+from ..programs.program import StateProgram, StepContext
+
+
+class ProcessServerProgram(StateProgram):
+    """Request loop of the process server."""
+
+    name = "process_server"
+    start_state = "route"
+
+    def declare(self, space) -> None:
+        space.declare("registry", 1)   # tuple of (pid, cluster)
+        space.declare("served", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("registry", ())
+        mem.set("served", 0)
+
+    def state_route(self, ctx: StepContext) -> Action:
+        ctx.goto("dispatch")
+        return ReadAny(fds=())
+
+    def state_dispatch(self, ctx: StepContext) -> Action:
+        fd, payload = ctx.rv
+        ctx.regs["_cur_fd"] = fd
+        ctx.mem.set("served", ctx.mem.get("served") + 1)
+        if payload == ("time",):
+            ctx.goto("time_read")
+            return ReadClock()
+        if isinstance(payload, tuple) and payload:
+            if payload[0] == "ping":
+                ctx.goto("route")
+                return Write(fd, ("pong",))
+            if payload[0] == "register" and len(payload) == 3:
+                registry = dict(ctx.mem.get("registry"))
+                registry[payload[1]] = payload[2]
+                ctx.mem.set("registry", tuple(sorted(registry.items())))
+                ctx.goto("route")
+                return Compute(20)
+            if payload[0] == "whereis" and len(payload) == 2:
+                registry = dict(ctx.mem.get("registry"))
+                ctx.goto("route")
+                return Write(fd, ("at", registry.get(payload[1])))
+        ctx.goto("route")
+        return Compute(5)
+
+    def state_time_read(self, ctx: StepContext) -> Action:
+        ctx.goto("route")
+        return Write(ctx.regs["_cur_fd"], ctx.rv)

@@ -1,0 +1,157 @@
+"""The raw disk server (section 7.6).
+
+"A raw server is associated with each disk to handle requests for direct
+access rather than via a file system."  Clients open ``raw:0`` through the
+file server and issue block-level reads and writes; the server performs
+them against its dual-ported mirrored disk.
+
+Like the other peripheral servers it runs with an active backup: client
+requests are saved at the backup's cluster, periodic server syncs carry
+only serviced counts (the data is already on the dual-ported disk), and a
+promoted backup reattaches through its own port and re-services the
+unserviced tail — block writes are idempotent redo operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, TYPE_CHECKING
+
+from ..hardware.disk import MirroredDisk
+from ..messages.payloads import ServerSync
+from ..programs.actions import Action, Compute, Read, ReadAny, Write
+from ..programs.program import StateProgram, StepContext
+from ..types import Ticks
+from .base import (ApplyServerSync, ChannelOf, PeripheralServerHarness,
+                   ResourceOp, SendServerSync)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import ClusterKernel
+    from ..kernel.pcb import ProcessControlBlock
+
+
+class RawServerProgram(StateProgram):
+    """Request loop for direct block access.
+
+    Protocol (on a channel opened as ``raw:<n>``):
+    ``("rwrite", block_no, words)`` -> ``("ok",)``
+    ``("rread", block_no)``         -> ``("block", words-or-None)``
+    """
+
+    name = "raw_server"
+    start_state = "route"
+
+    def declare(self, space) -> None:
+        space.declare("serviced", 1)
+        space.declare("since_sync", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("serviced", ())
+        mem.set("since_sync", 0)
+
+    def state_route(self, ctx: StepContext) -> Action:
+        if ctx.regs.get("server_mode") == "backup":
+            ctx.goto("backup_got")
+            return Read(fd=ctx.regs["sync_fd"])
+        ctx.goto("dispatch")
+        return ReadAny(fds=())
+
+    def state_dispatch(self, ctx: StepContext) -> Action:
+        fd, payload = ctx.rv
+        if payload == ("resync",):
+            ctx.goto("sync_sent")
+            return SendServerSync(
+                state=None,
+                serviced=tuple(ctx.mem.get("serviced")))
+        ctx.regs["_cur_fd"] = fd
+        if isinstance(payload, tuple) and payload:
+            if payload[0] == "rwrite" and len(payload) == 3:
+                _, block_no, words = payload
+                ctx.goto("write_done")
+                return ResourceOp(op="write",
+                                  args=(block_no, tuple(words)))
+            if payload[0] == "rread" and len(payload) == 2:
+                ctx.goto("read_done")
+                return ResourceOp(op="read", args=(payload[1],))
+        ctx.goto("count")
+        return Compute(5)
+
+    def state_write_done(self, ctx: StepContext) -> Action:
+        ctx.goto("count")
+        return Write(ctx.regs["_cur_fd"], ("ok",))
+
+    def state_read_done(self, ctx: StepContext) -> Action:
+        ctx.goto("count")
+        return Write(ctx.regs["_cur_fd"], ("block", ctx.rv))
+
+    def state_count(self, ctx: StepContext) -> Action:
+        ctx.goto("count_done")
+        return ChannelOf(fd=ctx.regs["_cur_fd"])
+
+    def state_count_done(self, ctx: StepContext) -> Action:
+        channel = ctx.rv
+        serviced = dict(ctx.mem.get("serviced"))
+        if channel is not None:
+            serviced[channel] = serviced.get(channel, 0) + 1
+        ctx.mem.set("serviced", tuple(sorted(serviced.items())))
+        since = ctx.mem.get("since_sync") + 1
+        ctx.mem.set("since_sync", since)
+        if since >= ctx.regs.get("sync_every", 32):
+            ctx.goto("sync_sent")
+            return SendServerSync(state=None,
+                                  serviced=tuple(sorted(serviced.items())))
+        ctx.goto("route")
+        return Compute(5)
+
+    def state_sync_sent(self, ctx: StepContext) -> Action:
+        ctx.mem.set("serviced", ())
+        ctx.mem.set("since_sync", 0)
+        ctx.goto("route")
+        return Compute(5)
+
+    def state_backup_got(self, ctx: StepContext) -> Action:
+        payload = ctx.rv
+        if isinstance(payload, ServerSync):
+            ctx.goto("backup_applied")
+            return ApplyServerSync(payload=payload)
+        if payload == ("promote",):
+            ctx.regs["server_mode"] = "primary"
+            ctx.goto("route")
+            return ResourceOp(op="attach")
+        ctx.goto("route")
+        return Compute(5)
+
+    def state_backup_applied(self, ctx: StepContext) -> Action:
+        ctx.goto("route")
+        return Compute(5)
+
+
+def raw_resource_handler(harness: PeripheralServerHarness,
+                         kernel: "ClusterKernel",
+                         pcb: "ProcessControlBlock", op: str,
+                         args: Tuple[Any, ...]) -> Tuple[Ticks, Any]:
+    disk: MirroredDisk = harness.disk  # type: ignore[attr-defined]
+    if op == "write":
+        block_no, words = args
+        disk_cost = disk.write(kernel.cluster_id, block_no, words)
+        kernel.metrics.add_busy(f"disk[raw.c{kernel.cluster_id}]", "write",
+                                disk_cost)
+        return kernel.config.costs.disk_issue, True
+    if op == "read":
+        (block_no,) = args
+        data, cost = disk.read(kernel.cluster_id, block_no)
+        return cost, data
+    if op == "attach":
+        return 0, True
+    raise ValueError(f"raw server: unknown resource op {op!r}")
+
+
+def make_raw_server_harness(disk: MirroredDisk, ports: Tuple[int, int],
+                            sync_every: int = 32
+                            ) -> PeripheralServerHarness:
+    harness = PeripheralServerHarness(
+        name="raw", program_factory=RawServerProgram, ports=ports,
+        resource_handler=raw_resource_handler,
+        sync_every_requests=sync_every)
+    harness.disk = disk  # type: ignore[attr-defined]
+    return harness

@@ -1,0 +1,23 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate for the whole reproduction: clusters,
+processors, the intercluster bus, kernels and failure injection are all
+driven from one :class:`~repro.sim.loop.Simulator` event loop with integer
+virtual time, giving bit-for-bit reproducible runs.
+"""
+
+from .events import Event, EventHeap, SchedulingError, SimulationError
+from .loop import Simulator
+from .rng import DeterministicRNG
+from .trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventHeap",
+    "SchedulingError",
+    "SimulationError",
+    "Simulator",
+    "DeterministicRNG",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,98 @@
+"""Event primitives for the discrete-event simulator.
+
+The simulator is the substrate everything else in :mod:`repro` runs on: the
+intercluster bus, the per-cluster kernels, processors, disks, and failure
+injection are all expressed as events on a single global heap.
+
+Determinism is a hard requirement of the reproduction (paper section 4: if
+two processes start in the identical state and receive identical input they
+behave identically).  Two design rules enforce it here:
+
+* Events are totally ordered by ``(time, priority, seq)`` where ``seq`` is a
+  monotonically increasing insertion counter.  Ties in virtual time are
+  therefore broken deterministically by scheduling order, never by object
+  identity or hash order.
+* Virtual time is an integer number of *ticks* (we interpret one tick as a
+  microsecond throughout), so there is no floating-point drift.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised for invalid scheduling requests (negative delay, dead event)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)``; the callback itself is
+    excluded from comparison.  Lower ``priority`` fires first among events
+    scheduled for the same tick.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the event loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventHeap:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: int, action: Callable[[], None], priority: int = 0,
+             label: str = "") -> Event:
+        """Schedule ``action`` at absolute virtual ``time`` and return the event."""
+        if time < 0:
+            raise SchedulingError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, priority=priority, seq=self._seq,
+                      action=action, label=label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty.
+
+        Cancelled events are discarded lazily here rather than eagerly
+        removed from the heap, keeping :meth:`Event.cancel` O(1).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._live -= 1
+            if event.cancelled:
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the virtual time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,32 @@
+"""Shared type aliases used across the library.
+
+All identifiers are plain integers so they order, hash and render
+deterministically:
+
+* ``Pid`` — globally unique process id (paper section 7.5.1 makes UNIX's
+  table-index pid a global identifier; we allocate from cluster-partitioned
+  ranges and re-forked children inherit their pid from the birth notice).
+* ``ClusterId`` — index of a processing unit (cluster) in the machine.
+* ``ChannelId`` — globally unique id of a communication channel.
+* ``Fd`` — per-process file descriptor referring to one channel end.
+* ``Ticks`` — integer virtual time, one tick = one microsecond.
+"""
+
+from __future__ import annotations
+
+Pid = int
+ClusterId = int
+ChannelId = int
+Fd = int
+Ticks = int
+
+#: Width of the per-cluster id spaces: pids and channel ids are allocated as
+#: ``cluster_id * ID_SPACE + local_counter`` so ids are globally unique
+#: without any coordination, yet remain deterministic under replay.
+ID_SPACE = 1_000_000
+
+
+def pid_home_cluster(pid: Pid) -> ClusterId:
+    """Cluster whose allocator minted this pid (its *original* home; the
+    process may since have migrated through recovery)."""
+    return pid // ID_SPACE

@@ -1,0 +1,36 @@
+"""Workload generators and reusable deterministic programs."""
+
+from .generator import (Scenario, generate_scenario, observable)
+from .pipeline import (RelayProgram, SinkProgram, SourceProgram,
+                       build_pipeline)
+from .oltp import (BankAuditorProgram, BankClientProgram,
+                   BankServerProgram, build_bank_workload,
+                   generate_transfers)
+from .programs import (AlarmWaiterProgram, FileWorkerProgram,
+                       ForkParentProgram, MemoryChurnProgram, PingProgram,
+                       PongProgram, TimeAskerProgram, TtyEchoProgram,
+                       TtyWriterProgram)
+
+__all__ = [
+    "RelayProgram",
+    "SinkProgram",
+    "SourceProgram",
+    "build_pipeline",
+    "Scenario",
+    "generate_scenario",
+    "observable",
+    "BankAuditorProgram",
+    "BankClientProgram",
+    "BankServerProgram",
+    "build_bank_workload",
+    "generate_transfers",
+    "AlarmWaiterProgram",
+    "FileWorkerProgram",
+    "ForkParentProgram",
+    "MemoryChurnProgram",
+    "PingProgram",
+    "PongProgram",
+    "TimeAskerProgram",
+    "TtyEchoProgram",
+    "TtyWriterProgram",
+]

@@ -1,0 +1,203 @@
+"""Multi-stage pipelines: producer -> relays -> sink.
+
+The classic producer-consumer arrangement (the paper cites Russell's SOSP
+1977 process-backup work on exactly this shape).  Each stage is a separate
+process connected by paired channels; the sink reports every item at the
+terminal.  Crashing any cluster mid-stream must leave the reported stream
+identical — items are neither lost, duplicated, nor reordered, even when
+several consecutive stages die together.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..backup.modes import BackupMode
+from ..programs.actions import Compute, Exit, Open, Read, Write
+from ..programs.program import StateProgram, StepContext
+from ..messages.payloads import is_eof
+
+
+class SourceProgram(StateProgram):
+    """Generates ``items`` sequenced values into the pipeline."""
+
+    name = "pipe_source"
+    start_state = "open_out"
+
+    def __init__(self, out_channel: str, items: int = 10,
+                 compute: int = 500) -> None:
+        self._out = out_channel
+        self._items = items
+        self._compute = compute
+
+    def declare(self, space) -> None:
+        space.declare("next", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("next", 0)
+
+    def state_open_out(self, ctx: StepContext):
+        ctx.goto("opened")
+        return Open(self._out)
+
+    def state_opened(self, ctx: StepContext):
+        ctx.regs["out_fd"] = ctx.rv
+        ctx.goto("produce")
+        return Compute(10)
+
+    def state_produce(self, ctx: StepContext):
+        value = ctx.mem.get("next")
+        if value >= self._items:
+            return Exit(0)
+        ctx.mem.set("next", value + 1)
+        ctx.goto("pace")
+        return Write(ctx.regs["out_fd"], ("item", value))
+
+    def state_pace(self, ctx: StepContext):
+        ctx.goto("produce")
+        return Compute(self._compute)
+
+
+class RelayProgram(StateProgram):
+    """Reads items on one channel, transforms (adds its stage offset) and
+    forwards on the next; exits after ``items``."""
+
+    name = "pipe_relay"
+    start_state = "open_in"
+
+    def __init__(self, in_channel: str, out_channel: str, items: int = 10,
+                 offset: int = 100, compute: int = 300) -> None:
+        self._in = in_channel
+        self._out = out_channel
+        self._items = items
+        self._offset = offset
+        self._compute = compute
+
+    def declare(self, space) -> None:
+        space.declare("done", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("done", 0)
+
+    def state_open_in(self, ctx: StepContext):
+        ctx.goto("in_opened")
+        return Open(self._in)
+
+    def state_in_opened(self, ctx: StepContext):
+        ctx.regs["in_fd"] = ctx.rv
+        ctx.goto("out_opened")
+        return Open(self._out)
+
+    def state_out_opened(self, ctx: StepContext):
+        ctx.regs["out_fd"] = ctx.rv
+        ctx.goto("pull")
+        return Compute(10)
+
+    def state_pull(self, ctx: StepContext):
+        if ctx.mem.get("done") >= self._items:
+            return Exit(0)
+        ctx.goto("push")
+        return Read(ctx.regs["in_fd"])
+
+    def state_push(self, ctx: StepContext):
+        if is_eof(ctx.rv):
+            return Exit(1)
+        tag, value = ctx.rv
+        ctx.mem.set("done", ctx.mem.get("done") + 1)
+        ctx.goto("paced")
+        return Write(ctx.regs["out_fd"], ("item", value + self._offset))
+
+    def state_paced(self, ctx: StepContext):
+        ctx.goto("pull")
+        return Compute(self._compute)
+
+
+class SinkProgram(StateProgram):
+    """Consumes items and reports each at the terminal."""
+
+    name = "pipe_sink"
+    start_state = "open_in"
+
+    def __init__(self, in_channel: str, items: int = 10,
+                 tag: str = "pipe") -> None:
+        self._in = in_channel
+        self._items = items
+        self._tag = tag
+
+    def declare(self, space) -> None:
+        space.declare("seen", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("seen", 0)
+
+    def state_open_in(self, ctx: StepContext):
+        ctx.goto("in_opened")
+        return Open(self._in)
+
+    def state_in_opened(self, ctx: StepContext):
+        ctx.regs["in_fd"] = ctx.rv
+        ctx.goto("tty_opened")
+        return Open("tty:0")
+
+    def state_tty_opened(self, ctx: StepContext):
+        ctx.regs["tty_fd"] = ctx.rv
+        ctx.goto("whoami")
+        return Compute(5)
+
+    def state_whoami(self, ctx: StepContext):
+        from ..programs.actions import GetPid
+        ctx.goto("pull")
+        return GetPid()
+
+    def state_pull(self, ctx: StepContext):
+        ctx.regs.setdefault("self_pid", ctx.rv)
+        if ctx.mem.get("seen") >= self._items:
+            return Exit(0)
+        ctx.goto("report")
+        return Read(ctx.regs["in_fd"])
+
+    def state_report(self, ctx: StepContext):
+        if is_eof(ctx.rv):
+            return Exit(1)
+        tag, value = ctx.rv
+        seen = ctx.mem.get("seen")
+        ctx.mem.set("seen", seen + 1)
+        ctx.goto("acked")
+        return Write(ctx.regs["tty_fd"],
+                     ("twrite", f"{self._tag}:{value}",
+                      ctx.regs["self_pid"], seen))
+
+    def state_acked(self, ctx: StepContext):
+        ctx.goto("pull")
+        return Read(ctx.regs["tty_fd"])
+
+
+def build_pipeline(machine, stages: int = 2, items: int = 10,
+                   tag: str = "pipe",
+                   mode: Optional[BackupMode] = None,
+                   sync_reads_threshold: int = 4,
+                   prefix: Optional[str] = None) -> List[int]:
+    """Spawn a source, ``stages`` relays and a sink, spread round-robin
+    across clusters.  Returns the pids in pipeline order."""
+    mode = mode or BackupMode.QUARTERBACK
+    prefix = prefix or f"chan:{tag}"
+    n_clusters = machine.config.n_clusters
+    pids = []
+    pids.append(machine.spawn(
+        SourceProgram(f"{prefix}0", items=items),
+        cluster=0 % n_clusters, backup_mode=mode,
+        sync_reads_threshold=sync_reads_threshold))
+    for stage in range(stages):
+        pids.append(machine.spawn(
+            RelayProgram(f"{prefix}{stage}", f"{prefix}{stage + 1}",
+                         items=items, offset=100 * (stage + 1)),
+            cluster=(stage + 1) % n_clusters, backup_mode=mode,
+            sync_reads_threshold=sync_reads_threshold))
+    pids.append(machine.spawn(
+        SinkProgram(f"{prefix}{stages}", items=items, tag=tag),
+        cluster=(stages + 1) % n_clusters, backup_mode=mode,
+        sync_reads_threshold=sync_reads_threshold))
+    return pids

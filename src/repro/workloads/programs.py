@@ -1,0 +1,495 @@
+"""Reusable deterministic programs for tests, examples and benchmarks.
+
+All programs follow the section 4 contract: state lives only in declared
+memory and registers, so they survive sync / rollforward unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..programs.actions import (Alarm, Compute, Exit, Fork, GetPid, GetTime,
+                                Open, Read, Write)
+from ..programs.program import StateProgram, StepContext
+from ..messages.payloads import is_eof
+
+
+class PingProgram(StateProgram):
+    """One half of a request/response pair over a paired channel.
+
+    Sends ``("ping", i)`` and waits for a pong, ``rounds`` times, burning
+    ``compute`` ticks between rounds; optionally reports each round on the
+    terminal (making its progress externally visible for the equivalence
+    experiments).
+    """
+
+    name = "ping"
+    start_state = "open"
+
+    def __init__(self, channel: str = "chan:pingpong", rounds: int = 5,
+                 compute: int = 200, tty: bool = False) -> None:
+        self._channel = channel
+        self._rounds = rounds
+        self._compute = compute
+        self._tty = tty
+
+    def declare(self, space) -> None:
+        space.declare("round", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("round", 0)
+
+    def state_open(self, ctx: StepContext):
+        ctx.goto("opened")
+        return Open(self._channel)
+
+    def state_opened(self, ctx: StepContext):
+        ctx.regs["peer_fd"] = ctx.rv
+        if self._tty:
+            ctx.goto("tty_opened")
+            return Open("tty:0")
+        ctx.goto("send")
+        return Compute(10)
+
+    def state_tty_opened(self, ctx: StepContext):
+        ctx.regs["tty_fd"] = ctx.rv
+        ctx.goto("whoami")
+        return GetPid()
+
+    def state_whoami(self, ctx: StepContext):
+        ctx.regs["self_pid"] = ctx.rv
+        ctx.goto("send")
+        return Compute(10)
+
+    def state_send(self, ctx: StepContext):
+        if ctx.mem.get("round") >= self._rounds:
+            return Exit(0)
+        ctx.goto("recv")
+        return Write(ctx.regs["peer_fd"], ("ping", ctx.mem.get("round")))
+
+    def state_recv(self, ctx: StepContext):
+        ctx.goto("got")
+        return Read(ctx.regs["peer_fd"])
+
+    def state_got(self, ctx: StepContext):
+        completed = ctx.mem.get("round")
+        ctx.mem.set("round", completed + 1)
+        if self._tty:
+            ctx.goto("reported")
+            seq = completed
+            return Write(ctx.regs["tty_fd"],
+                         ("twrite", f"round {completed} done",
+                          ctx.regs["self_pid"], seq))
+        ctx.goto("send")
+        return Compute(self._compute)
+
+    def state_reported(self, ctx: StepContext):
+        ctx.goto("tty_ack")
+        return Read(ctx.regs["tty_fd"])
+
+    def state_tty_ack(self, ctx: StepContext):
+        ctx.goto("send")
+        return Compute(self._compute)
+
+
+class PongProgram(StateProgram):
+    """The responder half: echoes a pong for every ping, ``rounds`` times."""
+
+    name = "pong"
+    start_state = "open"
+
+    def __init__(self, channel: str = "chan:pingpong",
+                 rounds: int = 5) -> None:
+        self._channel = channel
+        self._rounds = rounds
+
+    def declare(self, space) -> None:
+        space.declare("served", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("served", 0)
+
+    def state_open(self, ctx: StepContext):
+        ctx.goto("opened")
+        return Open(self._channel)
+
+    def state_opened(self, ctx: StepContext):
+        ctx.regs["peer_fd"] = ctx.rv
+        ctx.goto("recv")
+        return Compute(10)
+
+    def state_recv(self, ctx: StepContext):
+        if ctx.mem.get("served") >= self._rounds:
+            return Exit(0)
+        ctx.goto("reply")
+        return Read(ctx.regs["peer_fd"])
+
+    def state_reply(self, ctx: StepContext):
+        if is_eof(ctx.rv):
+            return Exit(1)
+        ctx.mem.set("served", ctx.mem.get("served") + 1)
+        ctx.goto("recv")
+        return Write(ctx.regs["peer_fd"], ("pong",))
+
+
+class TtyWriterProgram(StateProgram):
+    """Print ``lines`` numbered lines on the terminal, with deterministic
+    dedup keys, computing between lines.  The canonical externally-visible
+    workload for the E8 equivalence experiment."""
+
+    name = "tty_writer"
+    start_state = "open_tty"
+
+    def __init__(self, lines: int = 10, compute: int = 500,
+                 tag: str = "w") -> None:
+        self._lines = lines
+        self._compute = compute
+        self._tag = tag
+
+    def declare(self, space) -> None:
+        space.declare("line", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("line", 0)
+
+    def state_open_tty(self, ctx: StepContext):
+        ctx.goto("whoami")
+        return Open("tty:0")
+
+    def state_whoami(self, ctx: StepContext):
+        ctx.regs["tty_fd"] = ctx.rv
+        ctx.goto("work")
+        return GetPid()
+
+    def state_work(self, ctx: StepContext):
+        ctx.regs.setdefault("self_pid", ctx.rv)
+        if ctx.mem.get("line") >= self._lines:
+            return Exit(0)
+        ctx.goto("write")
+        return Compute(self._compute)
+
+    def state_write(self, ctx: StepContext):
+        line = ctx.mem.get("line")
+        ctx.goto("ack")
+        return Write(ctx.regs["tty_fd"],
+                     ("twrite", f"{self._tag}:{line}",
+                      ctx.regs["self_pid"], line))
+
+    def state_ack(self, ctx: StepContext):
+        ctx.goto("acked")
+        return Read(ctx.regs["tty_fd"])
+
+    def state_acked(self, ctx: StepContext):
+        ctx.mem.set("line", ctx.mem.get("line") + 1)
+        ctx.goto("work")
+        return Compute(10)
+
+
+class TtyEchoProgram(StateProgram):
+    """Read ``lines`` lines of terminal input and echo each back with a
+    prefix — the interactive-terminal workload (sections 7.6, 7.9).
+
+    Exercises the tty server's read path: requests park at the server
+    until input arrives from the device, and parked requests survive
+    server failover via the explicit server-sync state.
+    """
+
+    name = "tty_echo"
+    start_state = "open_tty"
+
+    def __init__(self, lines: int = 3, tag: str = "echo") -> None:
+        self._lines = lines
+        self._tag = tag
+
+    def declare(self, space) -> None:
+        space.declare("line", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("line", 0)
+
+    def state_open_tty(self, ctx: StepContext):
+        ctx.goto("whoami")
+        return Open("tty:0")
+
+    def state_whoami(self, ctx: StepContext):
+        ctx.regs["tty_fd"] = ctx.rv
+        ctx.goto("ask")
+        return GetPid()
+
+    def state_ask(self, ctx: StepContext):
+        ctx.regs.setdefault("self_pid", ctx.rv)
+        if ctx.mem.get("line") >= self._lines:
+            return Exit(0)
+        ctx.goto("got_line")
+        return Write(ctx.regs["tty_fd"], ("tread",), await_reply=True)
+
+    def state_got_line(self, ctx: StepContext):
+        tag, text = ctx.rv
+        line = ctx.mem.get("line")
+        ctx.mem.set("line", line + 1)
+        ctx.goto("echoed")
+        return Write(ctx.regs["tty_fd"],
+                     ("twrite", f"{self._tag}:{text}",
+                      ctx.regs["self_pid"], line))
+
+    def state_echoed(self, ctx: StepContext):
+        ctx.goto("ask")
+        return Read(ctx.regs["tty_fd"])
+
+
+class FileWorkerProgram(StateProgram):
+    """Open a file, write ``records`` records, read them back, verify, and
+    print PASS/FAIL on the terminal."""
+
+    name = "file_worker"
+    start_state = "open_file"
+
+    def __init__(self, path: str = "data", records: int = 8,
+                 tag: str = "fw") -> None:
+        self._path = path
+        self._records = records
+        self._tag = tag
+
+    def declare(self, space) -> None:
+        space.declare("i", 1)
+        space.declare("ok", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("i", 0)
+        mem.set("ok", 1)
+
+    def state_open_file(self, ctx: StepContext):
+        ctx.goto("file_opened")
+        return Open(f"file:{self._path}")
+
+    def state_file_opened(self, ctx: StepContext):
+        ctx.regs["file_fd"] = ctx.rv
+        ctx.goto("open_tty")
+        return Compute(10)
+
+    def state_open_tty(self, ctx: StepContext):
+        ctx.goto("tty_opened")
+        return Open("tty:0")
+
+    def state_tty_opened(self, ctx: StepContext):
+        ctx.regs["tty_fd"] = ctx.rv
+        ctx.goto("whoami")
+        return GetPid()
+
+    def state_whoami(self, ctx: StepContext):
+        ctx.regs["self_pid"] = ctx.rv
+        ctx.goto("write_rec")
+        return Compute(10)
+
+    def state_write_rec(self, ctx: StepContext):
+        i = ctx.mem.get("i")
+        if i >= self._records:
+            ctx.mem.set("i", 0)
+            ctx.goto("read_rec")
+            return Compute(10)
+        ctx.goto("write_ok")
+        return Write(ctx.regs["file_fd"], ("fwrite", i * 4,
+                                           (i, i * 2, i * 3, i * 4)),
+                     await_reply=True)
+
+    def state_write_ok(self, ctx: StepContext):
+        ctx.mem.set("i", ctx.mem.get("i") + 1)
+        ctx.goto("write_rec")
+        return Compute(20)
+
+    def state_read_rec(self, ctx: StepContext):
+        i = ctx.mem.get("i")
+        if i >= self._records:
+            ctx.goto("report")
+            return Compute(10)
+        ctx.goto("read_check")
+        return Write(ctx.regs["file_fd"], ("fread", i * 4, 4),
+                     await_reply=True)
+
+    def state_read_check(self, ctx: StepContext):
+        i = ctx.mem.get("i")
+        tag, data = ctx.rv
+        expected = (i, i * 2, i * 3, i * 4)
+        if tag != "data" or tuple(data) != expected:
+            ctx.mem.set("ok", 0)
+        ctx.mem.set("i", i + 1)
+        ctx.goto("read_rec")
+        return Compute(20)
+
+    def state_report(self, ctx: StepContext):
+        verdict = "PASS" if ctx.mem.get("ok") else "FAIL"
+        ctx.goto("reported")
+        return Write(ctx.regs["tty_fd"],
+                     ("twrite", f"{self._tag}:{verdict}",
+                      ctx.regs["self_pid"], 10 ** 6))
+
+    def state_reported(self, ctx: StepContext):
+        ctx.goto("done")
+        return Read(ctx.regs["tty_fd"])
+
+    def state_done(self, ctx: StepContext):
+        return Exit(0 if ctx.mem.get("ok") else 1)
+
+
+class ForkParentProgram(StateProgram):
+    """Fork ``children`` short-lived workers, then exit.  Exercises birth
+    notices, deferred backup creation and fork replay (sections 7.7 and
+    7.10.2)."""
+
+    name = "fork_parent"
+    start_state = "fork_next"
+
+    def __init__(self, children: int = 3, child_steps: int = 4,
+                 child_cost: int = 500, linger: int = 2_000) -> None:
+        self._children = children
+        self._child_steps = child_steps
+        self._child_cost = child_cost
+        self._linger = linger
+
+    def declare(self, space) -> None:
+        space.declare("forked", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("forked", 0)
+
+    def state_fork_next(self, ctx: StepContext):
+        from ..programs.program import BusyProgram
+
+        if ctx.mem.get("forked") >= self._children:
+            ctx.goto("linger")
+            return Compute(self._linger)
+        ctx.goto("forked_one")
+        return Fork(BusyProgram(steps=self._child_steps,
+                                cost_per_step=self._child_cost))
+
+    def state_forked_one(self, ctx: StepContext):
+        ctx.mem.set("forked", ctx.mem.get("forked") + 1)
+        ctx.goto("fork_next")
+        return Compute(50)
+
+    def state_linger(self, ctx: StepContext):
+        return Exit(0)
+
+
+class TimeAskerProgram(StateProgram):
+    """Call ``gettime`` through the process server ``asks`` times and
+    print each answer's monotonicity verdict — exercising the message-
+    served time of section 7.5.1 and the E10 nondeterminism machinery."""
+
+    name = "time_asker"
+    start_state = "ask"
+
+    def __init__(self, asks: int = 3, compute: int = 300) -> None:
+        self._asks = asks
+        self._compute = compute
+
+    def declare(self, space) -> None:
+        space.declare("i", 1)
+        space.declare("last", 1)
+        space.declare("monotonic", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("i", 0)
+        mem.set("last", -1)
+        mem.set("monotonic", 1)
+
+    def state_ask(self, ctx: StepContext):
+        if ctx.mem.get("i") >= self._asks:
+            return Exit(0 if ctx.mem.get("monotonic") else 1)
+        ctx.goto("got_time")
+        return GetTime()
+
+    def state_got_time(self, ctx: StepContext):
+        now = ctx.rv
+        if now < ctx.mem.get("last"):
+            ctx.mem.set("monotonic", 0)
+        ctx.mem.set("last", now)
+        ctx.mem.set("i", ctx.mem.get("i") + 1)
+        ctx.goto("ask")
+        return Compute(self._compute)
+
+
+class AlarmWaiterProgram(StateProgram):
+    """Request an alarm, compute until the signal arrives, then exit with
+    code 0 if the handler ran exactly once (section 7.5.2)."""
+
+    name = "alarm_waiter"
+    start_state = "arm"
+    handled_signals = ("alarm",)
+
+    def __init__(self, delay: int = 20_000, spin_cost: int = 1_000,
+                 max_spins: int = 200) -> None:
+        self._delay = delay
+        self._spin_cost = spin_cost
+        self._max_spins = max_spins
+
+    def declare(self, space) -> None:
+        space.declare("handled", 1)
+        space.declare("spins", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("handled", 0)
+        mem.set("spins", 0)
+
+    def on_signal(self, ctx: StepContext, signal) -> None:
+        ctx.mem.set("handled", ctx.mem.get("handled") + 1)
+
+    def state_arm(self, ctx: StepContext):
+        ctx.goto("spin")
+        return Alarm(self._delay)
+
+    def state_spin(self, ctx: StepContext):
+        if ctx.mem.get("handled"):
+            return Exit(0 if ctx.mem.get("handled") == 1 else 2)
+        spins = ctx.mem.get("spins") + 1
+        ctx.mem.set("spins", spins)
+        if spins > self._max_spins:
+            return Exit(1)  # alarm never arrived
+        ctx.goto("spin")
+        return Compute(self._spin_cost)
+
+
+class MemoryChurnProgram(StateProgram):
+    """Touch ``pages`` distinct pages per round for ``rounds`` rounds —
+    the dirty-page generator behind the sync-cost experiments (E1/E3)."""
+
+    name = "memory_churn"
+    start_state = "churn"
+
+    def __init__(self, pages: int = 8, rounds: int = 10,
+                 compute: int = 1_000, words_per_page: int = 128,
+                 total_pages: Optional[int] = None) -> None:
+        self._pages = pages
+        self._rounds = rounds
+        self._compute = compute
+        self._wpp = words_per_page
+        #: Declared data space; only ``pages`` of it are dirtied per round.
+        #: A large space with a small working set is where incremental
+        #: sync beats whole-space checkpointing hardest (section 2).
+        self._total_pages = max(total_pages or pages, pages)
+
+    def declare(self, space) -> None:
+        space.declare("data", self._total_pages * self._wpp)
+        space.declare("round", 1)
+
+    def init(self, mem, regs) -> None:
+        super().init(mem, regs)
+        mem.set("round", 0)
+
+    def state_churn(self, ctx: StepContext):
+        completed = ctx.mem.get("round")
+        if completed >= self._rounds:
+            return Exit(0)
+        for page in range(self._pages):
+            ctx.mem.set("data", completed + page, index=page * self._wpp)
+        ctx.mem.set("round", completed + 1)
+        ctx.goto("churn")
+        return Compute(self._compute)

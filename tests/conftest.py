@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.config import CostModel
+
+
+@pytest.fixture
+def config():
+    """A small, traced 3-cluster machine configuration."""
+    return MachineConfig(n_clusters=3).validate()
+
+
+@pytest.fixture
+def quiet_config():
+    """3 clusters, tracing off (for heavier integration runs)."""
+    return MachineConfig(n_clusters=3, trace_enabled=False).validate()
+
+
+@pytest.fixture
+def machine(config):
+    return Machine(config)
+
+
+@pytest.fixture
+def big_machine():
+    return Machine(MachineConfig(n_clusters=4, trace_enabled=False))
+
+
+def make_machine(n_clusters: int = 3, trace: bool = False,
+                 **overrides) -> Machine:
+    config = MachineConfig(n_clusters=n_clusters, trace_enabled=trace)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return Machine(config.validate())

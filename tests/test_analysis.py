@@ -1,0 +1,99 @@
+"""Tests for the analytic sync-interval models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (ModelError, SyncParameters, availability,
+                            checkpoint_overhead_rate,
+                            expected_recovery_time, optimal_interval,
+                            overhead_rate, sync_stall, total_cost_rate)
+from repro.config import CostModel, MachineConfig
+
+
+def params(dirty=4, total=32, mtbf=10_000_000.0):
+    return SyncParameters(dirty_pages_per_sync=dirty, total_pages=total,
+                          mtbf=mtbf)
+
+
+def test_sync_stall_matches_cost_model():
+    costs = CostModel()
+    assert sync_stall(costs, 4) == 4 * costs.sync_page_enqueue \
+        + costs.sync_message_build
+
+
+def test_overhead_rate_falls_with_interval():
+    costs = CostModel()
+    assert overhead_rate(costs, params(), 10_000) > \
+        overhead_rate(costs, params(), 100_000)
+
+
+def test_recovery_time_grows_with_interval():
+    config = MachineConfig().validate()
+    assert expected_recovery_time(config, params(), 100_000) > \
+        expected_recovery_time(config, params(), 10_000)
+
+
+def test_optimal_interval_square_root_law():
+    costs = CostModel()
+    p = params(mtbf=1_000_000.0)
+    expected = math.sqrt(2 * sync_stall(costs, p.dirty_pages_per_sync)
+                         * p.mtbf)
+    assert optimal_interval(costs, p) == pytest.approx(expected)
+
+
+def test_optimal_interval_minimizes_cost_rate():
+    costs = CostModel()
+    config = MachineConfig().validate()
+    p = params(mtbf=5_000_000.0)
+    best = optimal_interval(costs, p)
+    at_best = total_cost_rate(config, p, best)
+    for factor in (0.25, 0.5, 2.0, 4.0):
+        assert total_cost_rate(config, p, best * factor) >= at_best
+
+
+def test_availability_improves_with_mtbf():
+    config = MachineConfig().validate()
+    low = availability(config, params(mtbf=1_000_000.0), 50_000)
+    high = availability(config, params(mtbf=100_000_000.0), 50_000)
+    assert 0 < low < high < 1
+
+
+def test_checkpoint_overhead_dominates_sync_overhead():
+    """The analytic form of E1: whole-space copying costs more per
+    interval whenever the working set is smaller than the space."""
+    costs = CostModel()
+    p = params(dirty=4, total=64)
+    assert checkpoint_overhead_rate(costs, p, 50_000) > \
+        overhead_rate(costs, p, 50_000)
+
+
+def test_invalid_parameters_rejected():
+    costs = CostModel()
+    config = MachineConfig().validate()
+    with pytest.raises(ModelError):
+        overhead_rate(costs, params(), 0)
+    with pytest.raises(ModelError):
+        optimal_interval(costs, params(mtbf=0))
+    with pytest.raises(ModelError):
+        total_cost_rate(config, params(mtbf=-1), 1_000)
+    with pytest.raises(ModelError):
+        sync_stall(costs, -1)
+
+
+@given(dirty=st.integers(0, 64),
+       mtbf=st.floats(1_000.0, 1e12, allow_nan=False, allow_infinity=False))
+def test_square_root_law_is_stationary_point(dirty, mtbf):
+    """Property: the closed form beats (or ties) nearby intervals for the
+    simplified two-term cost it optimizes."""
+    costs = CostModel()
+    p = params(dirty=dirty, mtbf=mtbf)
+    stall = sync_stall(costs, dirty)
+
+    def simple_cost(interval):
+        return stall / interval + interval / (2 * mtbf)
+
+    best = optimal_interval(costs, p)
+    assert simple_cost(best) <= simple_cost(best * 1.1) + 1e-12
+    assert simple_cost(best) <= simple_cost(best * 0.9) + 1e-12

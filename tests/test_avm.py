@@ -1,0 +1,292 @@
+"""Tests for the AVM: assembler, execution, and automatic recovery."""
+
+import pytest
+
+from repro.avm import AvmError, AvmProcess, Instruction, assemble
+from tests.conftest import make_machine
+
+
+# -- assembler -----------------------------------------------------------------
+
+def test_assemble_simple_program():
+    code = assemble("""
+        MOVI r0, 42
+        HALT r0
+    """)
+    assert [i.op for i in code] == ["MOVI", "HALT"]
+    assert code[0].args == ("r0", 42)
+
+
+def test_labels_resolve_to_indices():
+    code = assemble("""
+        MOVI r0, 0
+    top:
+        ADDI r0, r0, 1
+        JMP top
+    """)
+    assert code[2].args == (1,)
+
+
+def test_label_on_same_line_as_instruction():
+    code = assemble("""
+        JMP end
+    end: HALT r0
+    """)
+    assert code[0].args == (1,)
+
+
+def test_comments_and_blank_lines_ignored():
+    code = assemble("""
+        ; leading comment
+
+        MOVI r0, 1   ; trailing comment
+        HALT r0
+    """)
+    assert len(code) == 2
+
+
+def test_string_operand_with_comma():
+    code = assemble('OPEN r7, "chan:a,b"\nHALT r0')
+    assert code[0].args == ("r7", "chan:a,b")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(AvmError):
+        assemble("FLY r0")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AvmError):
+        assemble("MOVI r9, 1")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AvmError):
+        assemble("JMP nowhere")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AvmError):
+        assemble("a: MOVI r0, 1\na: HALT r0")
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(AvmError):
+        assemble("MOVI r0")
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AvmError):
+        assemble("; nothing here")
+
+
+def test_instruction_validates_opcode():
+    with pytest.raises(AvmError):
+        Instruction(op="NOPE")
+
+
+# -- execution ------------------------------------------------------------------
+
+SUM_SOURCE = """
+        MOVI  r0, 0
+        MOVI  r1, 10
+        MOVI  r2, 0
+loop:   JLT   r0, r1, body
+        HALT  r2
+body:   ADD   r2, r2, r0
+        MOV   r3, r0
+        STORE r3, r2
+        ADDI  r0, r0, 1
+        JMP   loop
+"""
+
+
+def run_avm(source, crash_at=None, **spawn_kwargs):
+    machine = make_machine()
+    pid = machine.spawn(
+        AvmProcess(assemble(source), cost_per_instruction=200),
+        cluster=2, **spawn_kwargs)
+    if crash_at is not None:
+        machine.crash_cluster(2, at=crash_at)
+    machine.run_until_idle(max_events=10_000_000)
+    return machine, pid
+
+
+def test_arithmetic_loop_result_in_exit_code():
+    machine, pid = run_avm(SUM_SOURCE)
+    assert machine.exits[pid] == sum(range(10))
+
+
+def test_memory_store_load_roundtrip():
+    machine, pid = run_avm("""
+        MOVI  r0, 7
+        MOVI  r1, 1234
+        STORE r0, r1
+        MOVI  r1, 0
+        LOAD  r2, r0
+        HALT  r2
+    """)
+    assert machine.exits[pid] == 1234
+
+
+def test_tty_and_getpid():
+    machine, pid = run_avm("""
+        OPEN   r7, "tty:0"
+        MOVI   r0, 0
+        MOVI   r1, 3
+    loop: JLT  r0, r1, body
+        HALT   r0
+    body: TTYPUT r7, "vm"
+        ADDI   r0, r0, 1
+        JMP    loop
+    """)
+    assert machine.exits[pid] == 3
+    assert machine.tty_output() == ["vm:0", "vm:1", "vm:2"]
+
+
+def test_time_is_monotonic_in_register():
+    machine, pid = run_avm("""
+        TIME r0
+        TIME r1
+        SUB  r2, r1, r0
+        JLT  r2, r3, bad     ; r3 == 0: negative delta jumps
+        MOVI r4, 0
+        HALT r4
+    bad: MOVI r4, 1
+        HALT r4
+    """)
+    assert machine.exits[pid] == 0
+
+
+def test_avm_recovery_identical_output():
+    """The headline for the AVM: crash mid-loop, resume from the synced
+    vpc/registers and the paged M array, same output and exit code."""
+    source = """
+        OPEN  r7, "tty:0"
+        MOVI  r0, 0
+        MOVI  r1, 8
+        MOVI  r2, 0
+    loop: JLT r0, r1, body
+        HALT  r2
+    body: ADD r2, r2, r0
+        MOV   r3, r0
+        STORE r3, r2
+        TTYPUT r7, "avm"
+        ADDI  r0, r0, 1
+        JMP   loop
+    """
+    baseline, pid = run_avm(source, sync_reads_threshold=3)
+    for crash_at in (5_000, 12_000, 25_000):
+        machine, pid2 = run_avm(source, crash_at=crash_at,
+                                sync_reads_threshold=3)
+        assert machine.tty_output() == baseline.tty_output(), crash_at
+        assert machine.exits[pid2] == baseline.exits[pid]
+
+
+def test_avm_channel_communication():
+    machine = make_machine()
+    producer = machine.spawn(AvmProcess(assemble("""
+        OPEN  r7, "chan:avm"
+        MOVI  r0, 0
+        MOVI  r1, 5
+    loop: JLT r0, r1, body
+        HALT  r0
+    body: WRITE r7, r0
+        ADDI  r0, r0, 1
+        JMP   loop
+    """), name="avm_producer"), cluster=0)
+    consumer = machine.spawn(AvmProcess(assemble("""
+        OPEN  r7, "chan:avm"
+        MOVI  r0, 0
+        MOVI  r1, 5
+        MOVI  r2, 0
+    loop: JLT r0, r1, body
+        HALT  r2
+    body: RECV r3, r7
+        ADD   r2, r2, r3
+        ADDI  r0, r0, 1
+        JMP   loop
+    """), name="avm_consumer"), cluster=2)
+    machine.run_until_idle(max_events=10_000_000)
+    assert machine.exits[producer] == 5
+    assert machine.exits[consumer] == sum(range(5))
+
+
+def test_vpc_out_of_range_faults():
+    machine, pid = None, None
+    with pytest.raises(AvmError):
+        machine = make_machine()
+        machine.spawn(AvmProcess(assemble("MOVI r0, 1\nJMP top\ntop: MOV r1, r0")),
+                      cluster=2)
+        machine.run_until_idle(max_events=1_000_000)
+
+
+# -- stack and subroutines ------------------------------------------------------
+
+RECURSIVE_FACT = """
+        MOVI r0, 8          ; n
+        CALL fact
+        HALT r1             ; result in r1
+fact:   MOVI r2, 1
+        JGT  r0, r2, rec    ; n > 1 ?
+        MOVI r1, 1
+        RET
+rec:    PUSH r0
+        ADDI r0, r0, -1
+        CALL fact
+        POP  r0
+        MUL  r1, r1, r0
+        RET
+"""
+
+
+def test_recursive_subroutine():
+    machine, pid = run_avm(RECURSIVE_FACT)
+    assert machine.exits[pid] == 40320  # 8!
+
+
+def test_recursion_survives_crash():
+    baseline, pid = run_avm(RECURSIVE_FACT, sync_time_threshold=4_000)
+    for crash_at in (5_000, 12_000):
+        machine, pid2 = run_avm(RECURSIVE_FACT, crash_at=crash_at,
+                                sync_time_threshold=4_000)
+        assert machine.exits[pid2] == baseline.exits[pid], crash_at
+
+
+def test_push_pop_roundtrip():
+    machine, pid = run_avm("""
+        MOVI r0, 11
+        MOVI r1, 22
+        PUSH r0
+        PUSH r1
+        POP  r2     ; 22
+        POP  r3     ; 11
+        SUB  r4, r2, r3
+        HALT r4
+    """)
+    assert machine.exits[pid] == 11
+
+
+def test_muli_and_jgt():
+    machine, pid = run_avm("""
+        MOVI r0, 6
+        MULI r1, r0, 7
+        MOVI r2, 40
+        JGT  r1, r2, big
+        HALT r2
+    big: HALT r1
+    """)
+    assert machine.exits[pid] == 42
+
+
+def test_stack_overflow_detected():
+    import pytest
+    from repro.avm import AvmError
+
+    with pytest.raises(AvmError):
+        machine = make_machine()
+        machine.spawn(AvmProcess(assemble("""
+        loop: PUSH r0
+              JMP loop
+        """), memory_words=16), cluster=2, backup_mode=None)
+        machine.run_until_idle(max_events=2_000_000)

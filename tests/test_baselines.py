@@ -1,0 +1,86 @@
+"""Tests for the section 2 baseline regimes and the E1 comparison harness."""
+
+from repro.baselines import compare_regimes, run_regime
+from repro.config import MachineConfig
+from repro.workloads import MemoryChurnProgram
+from tests.conftest import make_machine
+
+
+def quiet():
+    return MachineConfig(n_clusters=3, trace_enabled=False).validate()
+
+
+def churn_programs():
+    return [MemoryChurnProgram(pages=3, rounds=20, compute=2_000,
+                               total_pages=24) for _ in range(2)]
+
+
+def test_none_regime_has_no_ft_traffic():
+    result = run_regime("none", churn_programs, quiet())
+    assert result.syncs == 0
+    assert result.checkpoints == 0
+    assert result.pages_shipped == 0
+
+
+def test_auragen_regime_syncs_incrementally():
+    result = run_regime("auragen", churn_programs, quiet(),
+                        sync_time_threshold=10_000)
+    assert result.syncs > 0
+    assert result.checkpoints == 0
+    # Only the dirty working set ships, not the whole space.
+    assert result.pages_shipped < result.syncs * 6
+
+
+def test_checkpoint_regime_ships_whole_space():
+    result = run_regime("checkpoint", churn_programs, quiet(),
+                        checkpoint_every=8)
+    assert result.checkpoints > 0
+    # Every checkpoint copies the full ~25-page space.
+    assert result.pages_shipped >= result.checkpoints * 20
+
+
+def test_active_regime_doubles_work():
+    floor = run_regime("none", churn_programs, quiet())
+    active = run_regime("active", churn_programs, quiet())
+    assert active.work_busy == floor.work_busy * 2
+    assert active.completion_time == floor.completion_time
+
+
+def test_expected_overhead_ordering():
+    """The paper's qualitative claim: Auragen overhead sits near the no-FT
+    floor; whole-space checkpointing is far costlier when the working set
+    is a small fraction of the data space."""
+    results = {r.regime: r for r in compare_regimes(
+        churn_programs, quiet(), sync_time_threshold=10_000,
+        checkpoint_every=8)}
+    floor = results["none"]
+    auragen = results["auragen"].overhead_vs(floor)
+    checkpoint = results["checkpoint"].overhead_vs(floor)
+    assert 0 <= auragen < checkpoint
+    assert checkpoint > 2 * auragen
+
+
+def test_checkpoint_stall_dwarfs_sync_stall():
+    """Section 8.3 versus section 2: the Auragen primary stalls only to
+    *enqueue* dirty pages; the checkpointing primary stalls to *copy* its
+    whole space."""
+    machine_a = make_machine()
+    machine_a.spawn(MemoryChurnProgram(pages=3, rounds=20, compute=2_000,
+                                       total_pages=24),
+                    cluster=0, sync_time_threshold=10_000)
+    machine_a.run_until_idle()
+    machine_c = make_machine()
+    machine_c.spawn(MemoryChurnProgram(pages=3, rounds=20, compute=2_000,
+                                       total_pages=24),
+                    cluster=0, checkpoint_every=8)
+    machine_c.run_until_idle()
+    sync_stall = machine_a.metrics.stats("sync.stall_ticks")
+    ckpt_stall = machine_c.metrics.stats("checkpoint.stall_ticks")
+    assert sync_stall is not None and ckpt_stall is not None
+    assert ckpt_stall.mean > 5 * sync_stall.mean
+
+
+def test_unknown_regime_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        run_regime("bogus", churn_programs, quiet())

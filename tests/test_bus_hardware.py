@@ -1,0 +1,168 @@
+"""Unit tests for the intercluster bus and executive processor.
+
+These exercise the two hardware guarantees of section 5.1 in isolation:
+all-or-none delivery and non-interleaved transmission.
+"""
+
+from repro.config import MachineConfig
+from repro.hardware.bus import InterclusterBus
+from repro.hardware.cluster import Cluster
+from repro.hardware.processor import ExecutiveProcessor
+from repro.messages.message import Delivery, DeliveryRole, Message, MessageKind
+from repro.metrics import MetricSet
+from repro.sim import Simulator, TraceLog
+
+
+class RecordingKernel:
+    """Minimal kernel stub recording deliveries."""
+
+    def __init__(self):
+        self.deliveries = []
+
+    def handle_delivery(self, message, delivery, seqno):
+        self.deliveries.append((message.msg_id, delivery.role, seqno))
+
+    def halt(self):
+        pass
+
+
+def build(n=3):
+    sim = Simulator()
+    config = MachineConfig(n_clusters=n).validate()
+    metrics = MetricSet()
+    trace = TraceLog()
+    bus = InterclusterBus(sim, config.costs, metrics, trace)
+    clusters = [Cluster(i, config, sim, bus, metrics, trace)
+                for i in range(n)]
+    kernels = []
+    for cluster in clusters:
+        kernel = RecordingKernel()
+        cluster.kernel = kernel
+        kernels.append(kernel)
+    return sim, bus, clusters, kernels, metrics
+
+
+def msg(msg_id, legs, size=64):
+    return Message(msg_id=msg_id, kind=MessageKind.DATA, src_pid=1,
+                   dst_pid=2, channel_id=5, payload="p", size_bytes=size,
+                   deliveries=tuple(legs))
+
+
+def leg(cluster, role=DeliveryRole.PRIMARY_DEST):
+    return Delivery(cluster, role, 2, 5)
+
+
+def test_single_transmission_reaches_all_targets():
+    sim, bus, clusters, kernels, metrics = build()
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    sim.run()
+    assert metrics.counter("bus.transmissions") == 1
+    assert len(kernels[1].deliveries) == 1
+    assert len(kernels[2].deliveries) == 1
+
+
+def test_fifo_order_per_cluster():
+    sim, bus, clusters, kernels, _ = build()
+    clusters[0].send(msg(1, [leg(1)]))
+    clusters[0].send(msg(2, [leg(1)]))
+    clusters[0].send(msg(3, [leg(1)]))
+    sim.run()
+    assert [d[0] for d in kernels[1].deliveries] == [1, 2, 3]
+
+
+def test_no_interleaving_across_shared_destinations():
+    """Two messages to overlapping target sets arrive in the same relative
+    order everywhere (the section 5.1 ordering guarantee)."""
+    sim, bus, clusters, kernels, _ = build()
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    clusters[1].send(msg(2, [leg(2)]))
+    sim.run()
+    seq_of = {m: s for m, _, s in kernels[2].deliveries}
+    assert len(seq_of) == 2
+    # msg 1 was granted first (earlier request): lower arrival seqno at 2.
+    assert seq_of[1] < seq_of[2]
+
+
+def test_sender_crash_mid_flight_loses_whole_message():
+    sim, bus, clusters, kernels, metrics = build()
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    # Dispatch costs 30 ticks, then the transmission occupies the bus for
+    # latency + size ticks; crash the sender squarely mid-flight.
+    sim.call_at(60, clusters[0].crash)
+    sim.run()
+    assert kernels[1].deliveries == []
+    assert kernels[2].deliveries == []
+    assert metrics.counter("bus.aborted_transmissions") == 1
+
+
+def test_crashed_cluster_receives_nothing():
+    sim, bus, clusters, kernels, _ = build()
+    clusters[2].crash()
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    sim.run()
+    assert len(kernels[1].deliveries) == 1
+    assert kernels[2].deliveries == []
+
+
+def test_arrival_seqnos_monotonic_per_cluster():
+    sim, bus, clusters, kernels, _ = build()
+    for i in range(5):
+        clusters[0].send(msg(i, [leg(1)]))
+    sim.run()
+    seqnos = [s for _, _, s in kernels[1].deliveries]
+    assert seqnos == sorted(seqnos)
+    assert len(set(seqnos)) == 5
+
+
+def test_disable_outgoing_holds_traffic():
+    sim, bus, clusters, kernels, _ = build()
+    clusters[0].disable_outgoing()
+    clusters[0].send(msg(1, [leg(1)]))
+    sim.run()
+    assert kernels[1].deliveries == []
+    clusters[0].enable_outgoing()
+    sim.run()
+    assert len(kernels[1].deliveries) == 1
+
+
+def test_outgoing_lost_on_crash():
+    sim, bus, clusters, kernels, metrics = build()
+    clusters[0].disable_outgoing()
+    clusters[0].send(msg(1, [leg(1)]))
+    clusters[0].crash()
+    sim.run()
+    assert kernels[1].deliveries == []
+    assert metrics.counter("cluster.lost_outgoing") == 1
+
+
+def test_bus_bytes_accounting():
+    sim, bus, clusters, kernels, metrics = build()
+    clusters[0].send(msg(1, [leg(1)], size=100))
+    clusters[1].send(msg(2, [leg(0)], size=50))
+    sim.run()
+    assert metrics.counter("bus.bytes") == 150
+
+
+def test_executive_runs_serially_in_fifo_order():
+    sim = Simulator()
+    metrics = MetricSet()
+    executive = ExecutiveProcessor(0, sim, metrics)
+    order = []
+    executive.submit(10, lambda: order.append("a"), "x")
+    executive.submit(10, lambda: order.append("b"), "x")
+    executive.submit(10, lambda: order.append("c"), "x")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+    assert metrics.busy("executive[c0]") == 30
+
+
+def test_executive_halt_drops_work():
+    sim = Simulator()
+    executive = ExecutiveProcessor(0, sim, MetricSet())
+    order = []
+    executive.submit(10, lambda: order.append("a"), "x")
+    executive.halt()
+    executive.submit(10, lambda: order.append("b"), "x")
+    sim.run()
+    assert order == []

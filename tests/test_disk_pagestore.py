@@ -1,0 +1,152 @@
+"""Unit tests for mirrored disks and the page store (sections 7.1, 7.6)."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.hardware.disk import DiskError, MirroredDisk
+from repro.paging.store import PageStore, PageStoreError
+
+
+def disk():
+    return MirroredDisk(disk_id=0, ports=(0, 1), costs=CostModel(),
+                        block_size=64)
+
+
+# -- MirroredDisk ------------------------------------------------------------
+
+def test_write_read_roundtrip():
+    d = disk()
+    d.write(0, 5, (1, 2, 3))
+    data, cost = d.read(1, 5)   # read through the *other* port
+    assert data == (1, 2, 3)
+    assert cost > 0
+
+
+def test_dual_port_enforced():
+    d = disk()
+    with pytest.raises(DiskError):
+        d.read(2, 0)
+    with pytest.raises(DiskError):
+        d.write(2, 0, (1,))
+
+
+def test_ports_must_differ():
+    with pytest.raises(DiskError):
+        MirroredDisk(disk_id=0, ports=(1, 1), costs=CostModel())
+
+
+def test_missing_block_reads_none():
+    data, _ = disk().read(0, 99)
+    assert data is None
+
+
+def test_single_drive_failure_preserves_data():
+    d = disk()
+    d.write(0, 1, (7, 8))
+    d.fail_drive(0)
+    data, _ = d.read(0, 1)
+    assert data == (7, 8)
+
+
+def test_write_after_drive_failure_keeps_mirror_current():
+    d = disk()
+    d.fail_drive(1)
+    d.write(0, 2, (9,))
+    assert d.read(1, 2)[0] == (9,)
+
+
+def test_both_drives_failed_raises():
+    d = disk()
+    d.fail_drive(0)
+    d.fail_drive(1)
+    with pytest.raises(DiskError):
+        d.read(0, 0)
+
+
+def test_other_port():
+    d = disk()
+    assert d.other_port(0) == 1
+    assert d.other_port(1) == 0
+
+
+# -- PageStore ---------------------------------------------------------------------
+
+def store():
+    return PageStore(disk(), cluster_id=0)
+
+
+def page(value, words=4):
+    return tuple([value] * words)
+
+
+def test_page_out_then_fetch():
+    s = store()
+    s.page_out(7, 0, page(1))
+    data, cost = s.fetch(7, 0)
+    assert data == page(1)
+
+
+def test_fetch_missing_page_is_none():
+    s = store()
+    s.ensure_accounts(7)
+    assert s.fetch(7, 3) == (None, 0)
+
+
+def test_backup_account_lags_until_sync():
+    """Section 7.8: two copies exist only for pages dirtied since sync."""
+    s = store()
+    s.page_out(7, 0, page(1))
+    s.sync(7)
+    s.page_out(7, 0, page(2))        # newer copy in primary account only
+    assert s.fetch(7, 0)[0] == page(2)
+    assert s.fetch(7, 0, from_backup=True)[0] == page(1)
+    s.sync(7)
+    assert s.fetch(7, 0, from_backup=True)[0] == page(2)
+
+
+def test_promote_rolls_primary_back_to_sync_point():
+    s = store()
+    s.page_out(7, 0, page(1))
+    s.sync(7)
+    s.page_out(7, 0, page(2))        # lost with the crashed primary
+    s.promote(7)
+    assert s.fetch(7, 0)[0] == page(1)
+
+
+def test_promote_without_account_raises():
+    with pytest.raises(PageStoreError):
+        store().promote(99)
+
+
+def test_backup_pages_listing():
+    s = store()
+    s.page_out(7, 0, page(1))
+    s.page_out(7, 2, page(1))
+    assert s.backup_pages(7) == set()
+    s.sync(7)
+    assert s.backup_pages(7) == {0, 2}
+
+
+def test_drop_accounts_frees_blocks():
+    s = store()
+    s.page_out(7, 0, page(1))
+    s.sync(7)
+    assert s.live_blocks() == 1
+    s.drop_accounts(7)
+    assert s.live_blocks() == 0
+
+
+def test_live_blocks_counts_cow_copies():
+    s = store()
+    s.page_out(7, 0, page(1))
+    s.sync(7)
+    assert s.live_blocks() == 1      # after sync, one copy per page (7.8)
+    s.page_out(7, 0, page(2))
+    assert s.live_blocks() == 2      # dirty page keeps its shadow
+
+
+def test_reattach_switches_port():
+    s = store()
+    s.page_out(7, 0, page(1))
+    s.reattach(1)
+    assert s.fetch(7, 0)[0] == page(1)

@@ -1,0 +1,147 @@
+"""Smoke-run every example (they self-assert), plus Close-action and
+multi-alarm edge cases."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.programs import (Alarm, Close, Compute, Exit, Open, Read,
+                            StateProgram, Write)
+from repro.workloads import PongProgram
+from tests.conftest import make_machine
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(name,
+                                                  EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart", "oltp_bank", "pipeline_failover", "fileserver_crash",
+    "avm_assembly", "interactive_tty", "async_polling",
+])
+def test_example_runs_clean(name, capsys):
+    run_example(name)  # examples assert their own invariants
+    assert capsys.readouterr().out  # and say something
+
+
+# -- Close action ------------------------------------------------------------------
+
+class CloserProgram(StateProgram):
+    """Opens a paired channel, sends twice, closes it, then exits."""
+
+    name = "closer"
+    start_state = "open"
+
+    def state_open(self, ctx):
+        ctx.goto("opened")
+        return Open("chan:closeme")
+
+    def state_opened(self, ctx):
+        ctx.regs["fd"] = ctx.rv
+        ctx.goto("sent1")
+        return Write(ctx.regs["fd"], "one")
+
+    def state_sent1(self, ctx):
+        ctx.goto("sent2")
+        return Write(ctx.regs["fd"], "two")
+
+    def state_sent2(self, ctx):
+        ctx.goto("closed")
+        return Close(ctx.regs["fd"])
+
+    def state_closed(self, ctx):
+        ctx.goto("lingered")
+        return Compute(20_000)
+
+    def state_lingered(self, ctx):
+        return Exit(0)
+
+
+def test_close_sends_eof_and_invalidates_fd():
+    machine = make_machine()
+    closer = machine.spawn(CloserProgram(), cluster=0)
+    reader = machine.spawn(PongProgram(channel="chan:closeme", rounds=99),
+                           cluster=2)
+    machine.run_until_idle(max_events=20_000_000)
+    assert machine.exits[closer] == 0
+    # The reader saw both messages, then EOF, and exited via its EOF path.
+    assert machine.exits[reader] == 1
+    closer_pcb = machine.find_pcb(closer)
+    assert closer_pcb is None  # exited cleanly
+
+
+def test_close_reported_in_next_sync():
+    machine = make_machine()
+    closer = machine.spawn(CloserProgram(), cluster=0,
+                           sync_time_threshold=5_000)
+    machine.spawn(PongProgram(channel="chan:closeme", rounds=99),
+                  cluster=2)
+    machine.run_until_idle(max_events=20_000_000)
+    # The closed channel's backup entry was removed by the sync delta.
+    for kernel in machine.kernels:
+        for entry in kernel.routing.all_entries():
+            assert not (entry.owner_pid == closer
+                        and entry.channel_id >= 10 ** 9)
+
+
+# -- alarms -------------------------------------------------------------------------
+
+class DoubleAlarm(StateProgram):
+    """Arms two alarms; exits once both handled."""
+
+    name = "double_alarm"
+    start_state = "arm1"
+    handled_signals = ("alarm",)
+
+    def declare(self, space):
+        space.declare("handled", 1)
+        space.declare("spins", 1)
+
+    def init(self, mem, regs):
+        super().init(mem, regs)
+        mem.set("handled", 0)
+        mem.set("spins", 0)
+
+    def on_signal(self, ctx, signal):
+        ctx.mem.set("handled", ctx.mem.get("handled") + 1)
+
+    def state_arm1(self, ctx):
+        ctx.goto("arm2")
+        return Alarm(8_000)
+
+    def state_arm2(self, ctx):
+        ctx.goto("spin")
+        return Alarm(20_000)
+
+    def state_spin(self, ctx):
+        if ctx.mem.get("handled") >= 2:
+            return Exit(0)
+        spins = ctx.mem.get("spins") + 1
+        ctx.mem.set("spins", spins)
+        if spins > 300:
+            return Exit(ctx.mem.get("handled"))
+        ctx.goto("spin")
+        return Compute(500)
+
+
+def test_two_alarms_both_delivered():
+    machine = make_machine()
+    pid = machine.spawn(DoubleAlarm(), cluster=2)
+    machine.run_until_idle(max_events=20_000_000)
+    assert machine.exits[pid] == 0
+    assert machine.metrics.counter("signal.handled") == 2
+
+
+def test_two_alarms_survive_crash_between_them():
+    machine = make_machine()
+    pid = machine.spawn(DoubleAlarm(), cluster=2, sync_time_threshold=4_000)
+    machine.crash_cluster(2, at=12_000)  # after alarm 1, before alarm 2
+    machine.run_until_idle(max_events=20_000_000)
+    assert machine.exits[pid] == 0

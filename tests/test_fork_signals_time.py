@@ -1,0 +1,159 @@
+"""Integration tests: fork/birth notices, signals/alarms, message-served
+time and the section 10 nondeterminism extension."""
+
+from repro import BackupMode
+from repro.workloads import (AlarmWaiterProgram, ForkParentProgram,
+                             TimeAskerProgram)
+from tests.conftest import make_machine
+
+
+# -- fork ---------------------------------------------------------------------------
+
+def fork_run(crash_at=None, **kwargs):
+    machine = make_machine(n_clusters=3)
+    params = dict(children=3, child_steps=5, child_cost=3_000)
+    params.update(kwargs)
+    machine.spawn(ForkParentProgram(**params), cluster=2,
+                  sync_reads_threshold=100)
+    if crash_at is not None:
+        machine.crash_cluster(2, at=crash_at)
+    machine.run_until_idle(max_events=5_000_000)
+    return machine
+
+
+def test_fork_creates_children_locally():
+    machine = fork_run()
+    assert len(machine.exits) == 4
+    assert machine.metrics.counter("proc.forks") == 3
+
+
+def test_birth_notices_sent_per_fork():
+    machine = fork_run()
+    # 3 children + head-of-family + boot servers also send notices; at
+    # least the 3 fork notices must be there.
+    assert machine.metrics.counter("backup.birth_notices") >= 4
+
+
+def test_children_get_globally_unique_pids():
+    machine = fork_run()
+    assert len(set(machine.exits)) == 4
+
+
+def test_fork_replay_preserves_pids_and_results():
+    """Crash while parent and children are live: the promoted parent
+    re-executes its forks, giving children their original identities
+    (section 7.10.2)."""
+    baseline = fork_run()
+    machine = fork_run(crash_at=900)
+    assert sorted(machine.exits) == sorted(baseline.exits)
+    assert machine.metrics.counter("recovery.forks_replayed") >= 1
+
+
+def test_fork_skipped_when_child_promoted_independently():
+    """Crash after children synced: children promote on their own and the
+    re-executed fork is skipped."""
+    baseline = fork_run()
+    machine = fork_run(crash_at=10_000, child_steps=8)
+    baseline2 = fork_run(child_steps=8)
+    assert sorted(machine.exits) == sorted(baseline2.exits)
+    skipped = machine.metrics.counter("recovery.forks_skipped")
+    orphaned = machine.metrics.counter("recovery.orphan_restarts")
+    promoted = machine.metrics.counter("recovery.promotions")
+    assert skipped + orphaned + promoted >= 3
+
+
+def test_orphans_restarted_after_parent_exit():
+    """Parent exits, then the cluster crashes: children are restarted from
+    their birth notices."""
+    baseline = fork_run(linger=100)
+    machine = fork_run(crash_at=9_000, linger=100)
+    assert sorted(machine.exits) == sorted(baseline.exits)
+
+
+# -- signals and alarms ----------------------------------------------------------------
+
+def test_alarm_delivered_once():
+    machine = make_machine()
+    pid = machine.spawn(AlarmWaiterProgram(delay=20_000), cluster=2)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.exits[pid] == 0
+    assert machine.metrics.counter("signal.handled") == 1
+
+
+def test_alarm_forces_sync_before_handling():
+    """Section 7.5.2: a handled asynchronous signal causes a sync just
+    prior to handling."""
+    machine = make_machine()
+    machine.spawn(AlarmWaiterProgram(delay=20_000), cluster=2,
+                  sync_reads_threshold=10 ** 6,
+                  sync_time_threshold=10 ** 12)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.metrics.counter("sync.performed") >= 1
+
+
+def test_alarm_survives_crash_exactly_once():
+    """Crash between alarm request and delivery: the promoted backup still
+    handles the signal exactly once (dedup by sequence)."""
+    machine = make_machine()
+    pid = machine.spawn(AlarmWaiterProgram(delay=30_000, spin_cost=1_000),
+                        cluster=2, sync_time_threshold=5_000)
+    machine.crash_cluster(2, at=12_000)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.exits[pid] == 0  # 0 = handled exactly once
+
+
+def test_ignored_signals_counted_as_reads():
+    """A signal the program does not handle is removed and counted as a
+    read-since-sync (7.5.2)."""
+    from repro.workloads import TtyWriterProgram
+
+    machine = make_machine()
+    pid = machine.spawn(TtyWriterProgram(lines=8, compute=3_000),
+                        cluster=2)
+    pcb = machine.find_pcb(pid)
+
+    def inject():
+        from repro.messages.payloads import SignalPayload
+        kernel = machine.kernels[2]
+        if pid in kernel.pcbs:
+            kernel.post_signal(pcb, SignalPayload(signal="interrupt", seq=1))
+
+    machine.sim.call_at(5_000, inject)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.metrics.counter("signal.ignored") == 1
+    assert machine.exits[pid] == 0
+
+
+# -- time and nondeterminism (7.5.1, section 10 / E10) -----------------------------------
+
+def test_gettime_served_by_process_server():
+    machine = make_machine()
+    pid = machine.spawn(TimeAskerProgram(asks=4), cluster=2)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.exits[pid] == 0  # monotonic answers
+    assert machine.metrics.counter("nondet.events") >= 4
+
+
+def test_time_replies_replayed_identically_after_crash():
+    """The asker's crash: replayed gettime reads the *saved* replies, so
+    its state is reconstructed with identical values."""
+    machine = make_machine()
+    pid = machine.spawn(TimeAskerProgram(asks=8, compute=3_000), cluster=2,
+                        sync_reads_threshold=3)
+    machine.crash_cluster(2, at=12_000)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.exits[pid] == 0
+
+
+def test_process_server_recovery_replays_clock_reads():
+    """Crash the process server's cluster: its passive backup rolls
+    forward, replaying logged clock reads (section 10) and suppressing
+    duplicate replies; clients still see monotonic time."""
+    machine = make_machine()
+    pid = machine.spawn(TimeAskerProgram(asks=10, compute=4_000),
+                        cluster=2)
+    machine.crash_cluster(0, at=15_000)
+    machine.run_until_idle(max_events=8_000_000)
+    assert machine.exits[pid] == 0
+    # Nondet results were piggybacked and some consumed during replay.
+    assert machine.metrics.counter("nondet.events") >= 10

@@ -1,0 +1,161 @@
+"""Unit tests for Message, Delivery and the routing table."""
+
+import pytest
+
+from repro.messages import (Delivery, DeliveryRole, EntryStatus, Message,
+                            MessageKind, PeerKind, RoutingEntry,
+                            RoutingError, RoutingTable, QueuedMessage)
+
+
+def make_message(deliveries, msg_id=1, channel=10, src=100, dst=200):
+    return Message(msg_id=msg_id, kind=MessageKind.DATA, src_pid=src,
+                   dst_pid=dst, channel_id=channel, payload="x",
+                   size_bytes=64, deliveries=tuple(deliveries))
+
+
+def three_way(dst_cluster=1, dst_backup=2, src_backup=0):
+    return (
+        Delivery(dst_cluster, DeliveryRole.PRIMARY_DEST, 200, 10),
+        Delivery(dst_backup, DeliveryRole.DEST_BACKUP, 200, 10),
+        Delivery(src_backup, DeliveryRole.SENDER_BACKUP, 100, 10),
+    )
+
+
+# -- Message -------------------------------------------------------------------
+
+def test_target_clusters_deduplicates_preserving_order():
+    message = make_message(three_way(1, 1, 0))
+    assert message.target_clusters() == (1, 0)
+
+
+def test_deliveries_for_cluster():
+    message = make_message(three_way())
+    legs = message.deliveries_for(2)
+    assert len(legs) == 1
+    assert legs[0].role is DeliveryRole.DEST_BACKUP
+
+
+def test_three_destinations_one_message():
+    """Section 5.1: one message, three destinations."""
+    message = make_message(three_way())
+    assert len(message.deliveries) == 3
+    assert len(message.target_clusters()) == 3
+
+
+def test_describe_mentions_kind_and_endpoints():
+    text = make_message(three_way()).describe()
+    assert "data" in text and "100" in text and "200" in text
+
+
+# -- RoutingTable ------------------------------------------------------------------
+
+def entry(channel=10, owner=200, **kwargs):
+    defaults = dict(channel_id=channel, owner_pid=owner, is_backup=False,
+                    peer_pid=100, peer_cluster=0, peer_backup_cluster=2)
+    defaults.update(kwargs)
+    return RoutingEntry(**defaults)
+
+
+def test_add_and_get():
+    table = RoutingTable(0)
+    table.add(entry())
+    assert table.get(10, 200) is not None
+    assert table.get(10, 999) is None
+
+
+def test_duplicate_add_rejected():
+    table = RoutingTable(0)
+    table.add(entry())
+    with pytest.raises(RoutingError):
+        table.add(entry())
+
+
+def test_ensure_is_idempotent():
+    table = RoutingTable(0)
+    first = table.ensure(entry())
+    second = table.ensure(entry())
+    assert first is second
+    assert len(table) == 1
+
+
+def test_require_raises_when_missing():
+    with pytest.raises(RoutingError):
+        RoutingTable(0).require(1, 2)
+
+
+def test_entries_for_pid():
+    table = RoutingTable(0)
+    table.add(entry(channel=1))
+    table.add(entry(channel=2))
+    table.add(entry(channel=3, owner=7))
+    assert len(table.entries_for_pid(200)) == 2
+
+
+def test_by_fd():
+    table = RoutingTable(0)
+    e = table.add(entry())
+    e.fd = 4
+    assert table.by_fd(200, 4) is e
+    assert table.by_fd(200, 5) is None
+
+
+def test_remove():
+    table = RoutingTable(0)
+    table.add(entry())
+    table.remove(10, 200)
+    assert table.get(10, 200) is None
+    table.remove(10, 200)  # idempotent
+
+
+def test_head_seqno():
+    e = entry()
+    assert e.head_seqno() is None
+    message = make_message(three_way())
+    e.queue.append(QueuedMessage(message=message, arrival_seqno=17))
+    assert e.head_seqno() == 17
+
+
+# -- crash repair (7.10.1) ------------------------------------------------------
+
+def test_repair_promotes_backup_destination():
+    table = RoutingTable(0)
+    e = table.add(entry(peer_cluster=1, peer_backup_cluster=2))
+    touched = table.repair_after_crash(1)
+    assert touched == 1
+    assert e.peer_cluster == 2
+    assert e.peer_backup_cluster is None
+    assert e.status is EntryStatus.OPEN
+
+
+def test_repair_marks_fullback_channels_unusable():
+    table = RoutingTable(0)
+    e = table.add(entry(peer_cluster=1, peer_backup_cluster=2,
+                        peer_fullback=True))
+    table.repair_after_crash(1)
+    assert e.status is EntryStatus.UNUSABLE
+
+
+def test_repair_clears_lost_peer_backup():
+    table = RoutingTable(0)
+    e = table.add(entry(peer_cluster=1, peer_backup_cluster=2))
+    table.repair_after_crash(2)
+    assert e.peer_cluster == 1
+    assert e.peer_backup_cluster is None
+
+
+def test_repair_skips_closed_entries():
+    table = RoutingTable(0)
+    e = table.add(entry(peer_cluster=1, status=EntryStatus.CLOSED))
+    assert table.repair_after_crash(1) == 0
+    assert e.peer_cluster == 1
+
+
+def test_backup_ready_restores_routing():
+    table = RoutingTable(0)
+    e = table.add(entry(peer_pid=100, peer_cluster=1,
+                        peer_backup_cluster=2, peer_fullback=True))
+    table.repair_after_crash(1)
+    assert e.status is EntryStatus.UNUSABLE
+    table.apply_backup_ready(100, 3)
+    assert e.status is EntryStatus.OPEN
+    assert e.peer_backup_cluster == 3

@@ -1,0 +1,93 @@
+"""Unit tests for MetricSet and report formatting."""
+
+from repro.metrics import (MetricSet, format_percent, format_ratio,
+                           format_table)
+
+
+def test_counter_starts_at_zero():
+    assert MetricSet().counter("nope") == 0
+
+
+def test_incr_accumulates():
+    metrics = MetricSet()
+    metrics.incr("a")
+    metrics.incr("a", 4)
+    assert metrics.counter("a") == 5
+
+
+def test_counters_prefix_filter():
+    metrics = MetricSet()
+    metrics.incr("bus.sent")
+    metrics.incr("bus.bytes", 10)
+    metrics.incr("sync.performed")
+    assert set(metrics.counters("bus.")) == {"bus.sent", "bus.bytes"}
+
+
+def test_samples_and_stats():
+    metrics = MetricSet()
+    for value in (10, 20, 30):
+        metrics.record("lat", value)
+    stats = metrics.stats("lat")
+    assert stats.count == 3
+    assert stats.total == 60
+    assert stats.minimum == 10
+    assert stats.maximum == 30
+    assert stats.mean == 20.0
+
+
+def test_stats_empty_is_none():
+    assert MetricSet().stats("missing") is None
+
+
+def test_series_returns_copy():
+    metrics = MetricSet()
+    metrics.record("s", 1)
+    series = metrics.series("s")
+    series.append(99)
+    assert metrics.series("s") == [1]
+
+
+def test_busy_accounting():
+    metrics = MetricSet()
+    metrics.add_busy("cpu0", "user", 100)
+    metrics.add_busy("cpu0", "sync", 50)
+    metrics.add_busy("cpu1", "user", 10)
+    assert metrics.busy("cpu0") == 150
+    assert metrics.busy("cpu0", "sync") == 50
+    assert metrics.busy_breakdown("cpu0") == {"user": 100, "sync": 50}
+    assert metrics.busy_resources() == ["cpu0", "cpu1"]
+
+
+def test_snapshot_shape():
+    metrics = MetricSet()
+    metrics.incr("c")
+    metrics.record("s", 5)
+    metrics.add_busy("r", "a", 1)
+    snap = metrics.snapshot()
+    assert snap["counters"]["c"] == 1
+    assert snap["samples"]["s"].total == 5
+    assert snap["busy"]["r:a"] == 1
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                         title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert all(line.startswith("|") for line in lines[1:])
+
+
+def test_format_table_floats():
+    table = format_table(["x"], [[1.23456]])
+    assert "1.235" in table
+
+
+def test_format_ratio():
+    assert format_ratio(3, 2) == "1.50x"
+    assert format_ratio(1, 0) == "n/a"
+
+
+def test_format_percent():
+    assert format_percent(1, 4) == "25.0%"
+    assert format_percent(1, 0) == "n/a"

@@ -1,0 +1,126 @@
+"""Unit tests for the program substrate and nondet logging."""
+
+import pytest
+
+from repro.kernel.nondet import NondetBuffer, NondetSavedLog
+from repro.paging import AddressSpace, MemoryTxn
+from repro.programs import (BusyProgram, Compute, Exit, IdleProgram,
+                            ProgramError, StateProgram, StepContext)
+
+
+def ctx_for(program, words_per_page=16):
+    space = AddressSpace(words_per_page)
+    program.declare(space)
+    space.make_fully_resident()
+    regs = {}
+    txn = MemoryTxn(space)
+    program.init(txn, regs)
+    txn.commit()
+    return space, regs
+
+
+def step(program, space, regs):
+    txn = MemoryTxn(space)
+    ctx = StepContext(pid=1, mem=txn, regs=regs)
+    action = program.step(ctx)
+    txn.commit()
+    return action
+
+
+# -- programs -----------------------------------------------------------------
+
+def test_idle_program_exits_immediately():
+    program = IdleProgram()
+    space, regs = ctx_for(program)
+    assert isinstance(step(program, space, regs), Exit)
+
+
+def test_busy_program_counts_down():
+    program = BusyProgram(steps=3, cost_per_step=10)
+    space, regs = ctx_for(program)
+    actions = [step(program, space, regs) for _ in range(4)]
+    assert all(isinstance(a, Compute) for a in actions[:3])
+    assert isinstance(actions[3], Exit)
+
+
+def test_state_program_dispatches_on_pc():
+    class TwoStep(StateProgram):
+        start_state = "first"
+
+        def state_first(self, ctx):
+            ctx.goto("second")
+            return Compute(1)
+
+        def state_second(self, ctx):
+            return Exit(7)
+
+    program = TwoStep()
+    space, regs = ctx_for(program)
+    assert isinstance(step(program, space, regs), Compute)
+    assert regs["pc"] == "second"
+    action = step(program, space, regs)
+    assert isinstance(action, Exit) and action.code == 7
+
+
+def test_state_program_unknown_state_raises():
+    class Broken(StateProgram):
+        start_state = "nowhere"
+
+    program = Broken()
+    space, regs = ctx_for(program)
+    with pytest.raises(ProgramError):
+        step(program, space, regs)
+
+
+def test_step_context_rv_property():
+    ctx = StepContext(pid=1, mem=None, regs={"rv": 42})
+    assert ctx.rv == 42
+    assert StepContext(pid=1, mem=None, regs={}).rv is None
+
+
+# -- nondet logging (section 10) ---------------------------------------------
+
+def test_buffer_piggyback_drains():
+    buffer = NondetBuffer()
+    buffer.record(10)
+    buffer.record(20)
+    assert buffer.take_for_piggyback() == (10, 20)
+    assert buffer.take_for_piggyback() == ()
+    assert buffer.produced_total == 2
+
+
+def test_buffer_clear_on_sync():
+    buffer = NondetBuffer()
+    buffer.record(1)
+    buffer.clear_on_sync()
+    assert buffer.take_for_piggyback() == ()
+
+
+def test_saved_log_fifo_per_pid():
+    log = NondetSavedLog()
+    log.append(7, (1, 2))
+    log.append(7, (3,))
+    log.append(8, (9,))
+    assert log.consume(7) == 1
+    assert log.consume(7) == 2
+    assert log.consume(8) == 9
+    assert log.pending_count(7) == 1
+
+
+def test_saved_log_empty_raises_lookup():
+    log = NondetSavedLog()
+    with pytest.raises(LookupError):
+        log.consume(5)
+
+
+def test_saved_log_cleared_on_sync():
+    log = NondetSavedLog()
+    log.append(7, (1,))
+    log.clear_on_sync(7)
+    assert log.pending_count(7) == 0
+
+
+def test_saved_log_append_empty_noop():
+    log = NondetSavedLog()
+    log.append(7, ())
+    assert log.pending_count(7) == 0

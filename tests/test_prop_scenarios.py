@@ -1,0 +1,66 @@
+"""Generator-driven equivalence properties over random mixed workloads.
+
+Scenarios mix terminal writers, cross-cluster request/response pairs,
+fork parents, time askers and file workers, with random placement, sync
+thresholds (including never-sync) and backup modes — then any single
+cluster is crashed at any time.  Externally visible behaviour must match
+the failure-free run.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.workloads import generate_scenario, observable
+from repro.workloads.generator import Scenario
+
+
+def test_scenarios_are_reproducible_from_seed():
+    a = generate_scenario(99)
+    b = generate_scenario(99)
+    assert a.recipe == b.recipe
+    assert observable(a.run()) == observable(b.run())
+
+
+def test_scenario_recipes_vary_with_seed():
+    recipes = {tuple(generate_scenario(seed).recipe) for seed in range(10)}
+    assert len(recipes) > 5
+
+
+@given(seed=st.integers(0, 10_000),
+       victim=st.sampled_from([0, 1, 2]),
+       crash_at=st.integers(2_000, 80_000))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_scenario_single_crash_equivalence(seed, victim, crash_at):
+    scenario = generate_scenario(seed)
+    baseline = scenario.run()
+    crashed = scenario.run(crash_cluster=victim, crash_at=crash_at)
+    assert observable(crashed) == observable(baseline)
+
+
+@given(seed=st.integers(0, 10_000), crash_at=st.integers(2_000, 40_000))
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_scenario_process_failure_equivalence(seed, crash_at):
+    """The section 10 extension under random workloads: failing a single
+    random process is also behaviour-preserving."""
+    from repro import Machine, MachineConfig
+    from repro.recovery.procfail import ProcFailure
+
+    scenario = generate_scenario(seed)
+    baseline = scenario.run()
+
+    machine = Machine(MachineConfig(n_clusters=3, trace_enabled=False))
+    pids = scenario.build(machine)
+    target = pids[seed % len(pids)]
+
+    def fail() -> None:
+        for kernel in machine.kernels:
+            if kernel.alive and target in kernel.pcbs:
+                from repro.recovery.procfail import fail_process
+                fail_process(kernel, target)
+                return
+        # Already exited before the failure point: nothing to do.
+
+    machine.sim.call_at(crash_at, fail)
+    machine.run_until_idle(max_events=40_000_000)
+    assert observable(machine) == observable(baseline)

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CostModel
+from repro.hardware.disk import MirroredDisk
+from repro.fs import ShadowFS
+from repro.paging import AddressSpace, MemoryTxn
+from repro.paging.store import PageStore
+from repro.sim.events import EventHeap
+
+
+# -- event heap: total order respects (time, priority, insertion) ---------------
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 3)),
+                min_size=1, max_size=60))
+def test_heap_pops_in_total_order(entries):
+    heap = EventHeap()
+    for index, (time, priority) in enumerate(entries):
+        heap.push(time, lambda: None, priority=priority, label=str(index))
+    popped = []
+    while True:
+        event = heap.pop()
+        if event is None:
+            break
+        popped.append((event.time, event.priority, event.seq))
+    assert popped == sorted(popped)
+    assert len(popped) == len(entries)
+
+
+# -- address space: memory behaves like a dict of words -------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(-1000, 1000)),
+                max_size=80))
+def test_memory_matches_model(writes):
+    space = AddressSpace(words_per_page=8)
+    space.declare("arr", 64)
+    space.make_fully_resident()
+    model = {}
+    for address, value in writes:
+        space.write_word(address, value)
+        model[address] = value
+    for address in range(64):
+        assert space.read_word(address) == model.get(address, 0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(-1000, 1000)),
+                max_size=40),
+       st.lists(st.tuples(st.integers(0, 63), st.integers(-1000, 1000)),
+                max_size=40))
+def test_txn_commit_equals_direct_writes(base_writes, txn_writes):
+    direct = AddressSpace(words_per_page=8)
+    direct.declare("arr", 64)
+    direct.make_fully_resident()
+    txned = AddressSpace(words_per_page=8)
+    txned.declare("arr", 64)
+    txned.make_fully_resident()
+    for address, value in base_writes:
+        direct.write_word(address, value)
+        txned.write_word(address, value)
+    txn = MemoryTxn(txned)
+    for address, value in txn_writes:
+        direct.write_word(address, value)
+        txn.set("arr", value, index=address)
+    txn.commit()
+    for address in range(64):
+        assert direct.read_word(address) == txned.read_word(address)
+
+
+@given(st.sets(st.integers(0, 7), max_size=8))
+def test_snapshot_evict_install_roundtrip(pages):
+    space = AddressSpace(words_per_page=4)
+    space.declare("arr", 32)
+    space.make_fully_resident()
+    for page in pages:
+        space.write_word(page * 4, page + 100)
+    snapshots = {page: space.snapshot_page(page) for page in range(8)}
+    space.evict_all()
+    for page in range(8):
+        space.install_page(page, snapshots[page])
+    for page in pages:
+        assert space.read_word(page * 4) == page + 100
+
+
+# -- page store: backup account always equals state at last sync ---------------
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("out"), st.integers(0, 5), st.integers(0, 99)),
+    st.just(("sync",)),
+), max_size=40))
+@settings(max_examples=60)
+def test_pagestore_backup_account_is_sync_snapshot(ops):
+    disk = MirroredDisk(0, (0, 1), CostModel(), block_size=32)
+    store = PageStore(disk, cluster_id=0)
+    primary_model = {}
+    backup_model = {}
+    for op in ops:
+        if op[0] == "out":
+            _, page, value = op
+            data = (value,) * 4
+            store.page_out(7, page, data)
+            primary_model[page] = data
+        else:
+            store.sync(7)
+            backup_model = dict(primary_model)
+    for page in range(6):
+        assert store.fetch(7, page)[0] == primary_model.get(page)
+        assert store.fetch(7, page, from_backup=True)[0] == \
+            backup_model.get(page)
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("out"), st.integers(0, 5), st.integers(0, 99)),
+    st.just(("sync",)),
+), min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_pagestore_promote_rolls_back_to_sync(ops):
+    disk = MirroredDisk(0, (0, 1), CostModel(), block_size=32)
+    store = PageStore(disk, cluster_id=0)
+    store.ensure_accounts(7)
+    backup_model = {}
+    primary_model = {}
+    for op in ops:
+        if op[0] == "out":
+            _, page, value = op
+            data = (value,) * 4
+            store.page_out(7, page, data)
+            primary_model[page] = data
+        else:
+            store.sync(7)
+            backup_model = dict(primary_model)
+    store.promote(7)
+    for page in range(6):
+        assert store.fetch(7, page)[0] == backup_model.get(page)
+
+
+# -- shadow fs: reload always sees exactly the last flushed state -----------------
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 2), st.integers(0, 15),
+              st.integers(0, 99)),
+    st.just(("flush",)),
+), max_size=50))
+@settings(max_examples=60)
+def test_shadowfs_reload_matches_flush_frontier(ops):
+    disk = MirroredDisk(0, (0, 1), CostModel(), block_size=32)
+    fs = ShadowFS(disk, cluster_id=0, words_per_block=4)
+    files = ["f0", "f1", "f2"]
+    for name in files:
+        fs.create(name)
+    fs.flush()
+    flushed_model = {name: {} for name in files}
+    live_model = {name: {} for name in files}
+    for op in ops:
+        if op[0] == "write":
+            _, file_index, offset, value = op
+            name = files[file_index]
+            fs.write(name, offset, (value,))
+            live_model[name][offset] = value
+        else:
+            fs.flush()
+            flushed_model = {name: dict(cells)
+                             for name, cells in live_model.items()}
+    other = ShadowFS(disk, cluster_id=1, words_per_block=4)
+    other.reload()
+    for name in files:
+        for offset, value in flushed_model[name].items():
+            assert other.read(name, offset, 1)[0] == (value,)

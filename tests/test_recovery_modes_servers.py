@@ -1,0 +1,160 @@
+"""Recovery tests for backup modes (7.3), server promotion (7.9/7.10) and
+cluster restoration."""
+
+from repro import BackupMode
+from repro.workloads import (FileWorkerProgram, PingProgram, PongProgram,
+                             TtyWriterProgram, build_bank_workload)
+from tests.conftest import make_machine
+
+
+# -- backup modes ---------------------------------------------------------------
+
+def run_writer(mode, crash_at=None, n_clusters=4, restore_at=None,
+               lines=25):
+    machine = make_machine(n_clusters=n_clusters)
+    pid = machine.spawn(TtyWriterProgram(lines=lines, tag="m",
+                                         compute=2_000),
+                        cluster=2, sync_reads_threshold=3,
+                        backup_mode=mode)
+    if crash_at is not None:
+        machine.crash_cluster(2, at=crash_at)
+    if restore_at is not None:
+        machine.run(until=restore_at)
+        machine.restore_cluster(2)
+    machine.run_until_idle(max_events=8_000_000)
+    return machine, pid
+
+
+def test_quarterback_recovers_but_stays_unprotected():
+    machine, pid = run_writer(BackupMode.QUARTERBACK, crash_at=15_000)
+    assert machine.exits[pid] == 0
+    assert machine.metrics.counter("recovery.promotions_quarterback") == 1
+    # No re-protection: no full syncs, no BACKUP_READY for this pid.
+    assert machine.metrics.counter("recovery.fullback_transfers") == 0
+
+
+def test_fullback_reprotected_before_running():
+    machine, pid = run_writer(BackupMode.FULLBACK, crash_at=15_000)
+    assert machine.exits[pid] == 0
+    assert machine.metrics.counter("recovery.fullback_transfers") == 1
+    assert machine.metrics.counter("recovery.backup_ready_applied") >= 1
+
+
+def test_fullback_survives_two_sequential_crashes():
+    """The point of fullbacks: a second (later) failure is survivable."""
+    machine = make_machine(n_clusters=4)
+    pid = machine.spawn(TtyWriterProgram(lines=30, tag="m", compute=2_000),
+                        cluster=2, sync_reads_threshold=3,
+                        backup_mode=BackupMode.FULLBACK)
+    machine.crash_cluster(2, at=15_000)
+    machine.crash_cluster(3, at=90_000)  # kills the promoted primary
+    machine.run_until_idle(max_events=8_000_000)
+    baseline = make_machine(n_clusters=4)
+    baseline.spawn(TtyWriterProgram(lines=30, tag="m", compute=2_000),
+                   cluster=2)
+    baseline.run_until_idle()
+    assert machine.tty_output() == baseline.tty_output()
+    assert machine.exits == baseline.exits
+
+
+def test_fullback_primary_losing_backup_gets_new_one():
+    """Crash of the *backup's* cluster: 7.10.1 step 3 links the fullback
+    for backup re-creation."""
+    machine = make_machine(n_clusters=4)
+    pid = machine.spawn(TtyWriterProgram(lines=30, tag="m", compute=2_000),
+                        cluster=2, sync_reads_threshold=3,
+                        backup_mode=BackupMode.FULLBACK)
+    backup_cluster = machine.find_pcb(pid).backup_cluster
+    machine.crash_cluster(backup_cluster, at=15_000)
+    machine.run_until_idle(max_events=8_000_000)
+    assert machine.exits[pid] == 0
+    assert machine.metrics.counter("recovery.fullback_recreations") == 1
+
+
+def test_halfback_reprotected_when_cluster_returns():
+    machine, pid = run_writer(BackupMode.HALFBACK, crash_at=15_000,
+                              restore_at=60_000, lines=60)
+    assert machine.exits[pid] == 0
+    # The restore triggered a full sync back to the returned cluster.
+    assert machine.metrics.counter("cluster.restores") == 1
+    restored_kernel = machine.kernels[2]
+    assert machine.metrics.counter("sync.applied") > 0
+
+
+def test_halfback_without_restore_stays_unprotected():
+    machine, pid = run_writer(BackupMode.HALFBACK, crash_at=15_000)
+    assert machine.exits[pid] == 0
+    assert machine.metrics.counter("recovery.promotions_halfback") == 1
+
+
+# -- peripheral server recovery ------------------------------------------------------
+
+def test_file_server_promotion_preserves_file_data():
+    def run(crash_at=None):
+        machine = make_machine(n_clusters=3)
+        pid = machine.spawn(FileWorkerProgram(records=10, tag="fw"),
+                            cluster=2, sync_reads_threshold=4)
+        if crash_at is not None:
+            machine.crash_cluster(0, at=crash_at)
+        machine.run_until_idle(max_events=8_000_000)
+        return machine, pid
+
+    baseline, pid = run()
+    assert baseline.exits[pid] == 0
+    assert "fw:PASS" in baseline.tty_output()
+    machine, pid = run(crash_at=20_000)
+    assert machine.exits[pid] == 0
+    assert "fw:PASS" in machine.tty_output()
+    assert machine.metrics.counter("server.promotions") >= 1
+
+
+def test_tty_server_promotion_no_duplicate_output():
+    def run(crash_at=None):
+        machine = make_machine(n_clusters=3)
+        machine.spawn(TtyWriterProgram(lines=15, tag="t", compute=2_000),
+                      cluster=2, sync_reads_threshold=3)
+        if crash_at is not None:
+            machine.crash_cluster(0, at=crash_at)
+        machine.run_until_idle(max_events=8_000_000)
+        return machine
+
+    baseline = run()
+    machine = run(crash_at=12_000)
+    assert machine.tty_output() == baseline.tty_output()
+
+
+def test_server_sync_trims_saved_requests():
+    machine = make_machine(n_clusters=3, server_sync_requests=8)
+    machine.spawn(TtyWriterProgram(lines=30, tag="t", compute=500),
+                  cluster=2)
+    machine.run_until_idle(max_events=8_000_000)
+    assert machine.metrics.counter("server.syncs_sent") >= 1
+    assert machine.metrics.counter("server.requests_discarded") > 0
+
+
+# -- OLTP invariant under crashes --------------------------------------------------
+
+def bank_run(crash_at=None, crash_cluster=2):
+    machine = make_machine(n_clusters=4)
+    server, clients, total = build_bank_workload(
+        machine, n_clients=3, txns_per_client=6,
+        server_mode=BackupMode.FULLBACK, server_cluster=2)
+    if crash_at is not None:
+        machine.crash_cluster(crash_cluster, at=crash_at)
+    machine.run_until_idle(max_events=8_000_000)
+    return machine, server, clients
+
+
+def test_bank_completes_after_server_crash():
+    baseline, server, clients = bank_run()
+    machine, server2, clients2 = bank_run(crash_at=8_000)
+    assert sorted(machine.exits) == sorted(baseline.exits)
+    assert all(machine.exits[pid] == 0 for pid in clients2)
+
+
+def test_bank_every_client_exactly_one_reply_per_txn():
+    """Exactly-once transaction semantics: each client saw one reply per
+    transfer, even with the server cluster crashing mid-run."""
+    machine, server, clients = bank_run(crash_at=8_000)
+    for pid in clients:
+        assert machine.exits[pid] == 0

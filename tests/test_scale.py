@@ -1,0 +1,66 @@
+"""Scale smoke tests: a larger machine with a mixed population, still
+deterministic and still crash-transparent."""
+
+from repro import BackupMode, Machine, MachineConfig
+from repro.workloads import (PingProgram, PongProgram, TtyWriterProgram,
+                             build_pipeline, observable)
+
+
+def build_town(machine):
+    """A 20-ish process mixed population across 8 clusters."""
+    pids = []
+    for index in range(6):
+        pids.append(machine.spawn(
+            TtyWriterProgram(lines=6, compute=1_500, tag=f"w{index}"),
+            cluster=2 + index % 6, sync_reads_threshold=4))
+    for index in range(3):
+        pids.append(machine.spawn(
+            PingProgram(channel=f"chan:pp{index}", rounds=6, compute=400),
+            cluster=2 + index, sync_reads_threshold=4))
+        pids.append(machine.spawn(
+            PongProgram(channel=f"chan:pp{index}", rounds=6),
+            cluster=5 + index, sync_reads_threshold=4))
+    pids.extend(build_pipeline(machine, stages=3, items=6, tag="line",
+                               prefix="chan:line"))
+    return pids
+
+
+def run_town(crash=None):
+    machine = Machine(MachineConfig(n_clusters=8, trace_enabled=False))
+    pids = build_town(machine)
+    if crash is not None:
+        machine.crash_cluster(crash[0], at=crash[1])
+    machine.run_until_idle(max_events=80_000_000)
+    return machine, pids
+
+
+def test_eight_cluster_town_completes():
+    machine, pids = run_town()
+    assert all(machine.exits.get(pid) == 0 for pid in pids)
+    # Every user cluster did real work.
+    for cluster in machine.clusters[2:]:
+        assert any(machine.metrics.busy(proc.resource_name)
+                   for proc in cluster.work_processors)
+
+
+def test_eight_cluster_town_is_deterministic():
+    first, _ = run_town()
+    second, _ = run_town()
+    assert observable(first) == observable(second)
+    assert first.metrics.counter("bus.transmissions") == \
+        second.metrics.counter("bus.transmissions")
+
+
+def test_eight_cluster_town_crash_equivalence():
+    baseline, pids = run_town()
+    for victim in (0, 4):
+        machine, pids2 = run_town(crash=(victim, 12_000))
+        assert observable(machine) == observable(baseline), victim
+        assert all(machine.exits.get(pid) == 0 for pid in pids2)
+
+
+def test_town_event_budget_is_reasonable():
+    """Perf canary: the whole 20-process town stays under a bounded event
+    count, so accidental O(n^2) regressions in hot paths show up here."""
+    machine, _ = run_town()
+    assert machine.sim.events_executed < 400_000

@@ -1,0 +1,90 @@
+"""Server halfback re-protection: peripheral-server backups re-created on
+a restored cluster, surviving chained (sequential) failures."""
+
+from repro.workloads import (FileWorkerProgram, TtyEchoProgram,
+                             TtyWriterProgram)
+from tests.conftest import make_machine
+
+
+def test_server_backups_reinstalled_on_restore():
+    machine = make_machine(n_clusters=3)
+    machine.crash_cluster(0, at=10_000)
+    machine.run(until=120_000)
+    machine.restore_cluster(0)
+    machine.run_until_idle(max_events=30_000_000)
+    assert machine.metrics.counter("server.backups_reinstalled") == 4
+    for harness in (machine.fs_harness, machine.page_harness,
+                    machine.tty_harness, machine.raw_harness):
+        assert harness.primary_cluster == 1
+        assert harness.backup_cluster == 0
+        assert harness.pid in machine.kernels[0].pcbs
+
+
+def test_directory_reflects_reinstalled_backups():
+    machine = make_machine(n_clusters=3)
+    machine.crash_cluster(0, at=10_000)
+    machine.run(until=120_000)
+    machine.restore_cluster(0)
+    machine.run_until_idle(max_events=30_000_000)
+    for name in ("fs", "page", "tty", "raw"):
+        info = machine.directory.server(name)
+        assert info.primary_cluster == 1
+        assert info.backup_cluster == 0
+
+
+def test_chained_server_failovers_preserve_file_data():
+    """Crash the primary server cluster, restore it, then crash the
+    promoted one: work before, between and after stays correct."""
+    machine = make_machine(n_clusters=3)
+    a = machine.spawn(FileWorkerProgram(path="x", records=10, tag="A"),
+                      cluster=2, sync_reads_threshold=4)
+    machine.crash_cluster(0, at=20_000)
+    machine.run(until=120_000)
+    machine.restore_cluster(0)
+    machine.run(until=200_000)
+    machine.crash_cluster(1, at=210_000)
+    b = machine.spawn(FileWorkerProgram(path="y", records=6, tag="B"),
+                      cluster=2)
+    machine.run_until_idle(max_events=60_000_000)
+    assert machine.exits[a] == 0
+    assert machine.exits[b] == 0
+    assert sorted(machine.tty_output()) == ["A:PASS", "B:PASS"]
+
+
+def test_chained_failovers_tty_session_intact():
+    machine = make_machine(n_clusters=3)
+    pid = machine.spawn(TtyEchoProgram(lines=4), cluster=2,
+                        sync_reads_threshold=3)
+    machine.tty_type("first", at=5_000)
+    machine.crash_cluster(0, at=10_000)
+    machine.tty_type("second", at=90_000)
+    machine.run(until=140_000)
+    machine.restore_cluster(0)
+    machine.run(until=200_000)
+    machine.crash_cluster(1, at=205_000)
+    machine.tty_type("third", at=300_000)
+    machine.tty_type("fourth", at=320_000)
+    machine.run_until_idle(max_events=60_000_000)
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == [
+        "echo:first", "echo:second", "echo:third", "echo:fourth"]
+
+
+def test_open_channel_ids_are_request_deterministic():
+    """The same open request yields the same channel id no matter which
+    file-server incarnation services it (the fix chained failover
+    needs): two identical machines agree on every allocated id."""
+    def collect():
+        machine = make_machine(n_clusters=3)
+        machine.spawn(TtyWriterProgram(lines=3, tag="x"), cluster=2)
+        machine.run_until_idle(max_events=30_000_000)
+        ids = set()
+        for kernel in machine.kernels:
+            for entry in kernel.routing.all_entries():
+                if entry.channel_id >= 10 ** 9:
+                    ids.add(entry.channel_id)
+        return ids
+
+    first = collect()
+    second = collect()
+    assert first and first == second

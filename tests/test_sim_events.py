@@ -1,0 +1,97 @@
+"""Unit tests for the event heap: ordering, ties, cancellation."""
+
+import pytest
+
+from repro.sim.events import Event, EventHeap, SchedulingError
+
+
+def test_push_pop_single():
+    heap = EventHeap()
+    fired = []
+    heap.push(5, lambda: fired.append(1))
+    event = heap.pop()
+    assert event.time == 5
+    event.action()
+    assert fired == [1]
+
+
+def test_orders_by_time():
+    heap = EventHeap()
+    heap.push(30, lambda: None, label="c")
+    heap.push(10, lambda: None, label="a")
+    heap.push(20, lambda: None, label="b")
+    assert [heap.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    heap = EventHeap()
+    for name in "abcde":
+        heap.push(7, lambda: None, label=name)
+    assert [heap.pop().label for _ in range(5)] == list("abcde")
+
+
+def test_priority_orders_within_same_tick():
+    heap = EventHeap()
+    heap.push(7, lambda: None, priority=1, label="late")
+    heap.push(7, lambda: None, priority=0, label="early")
+    assert heap.pop().label == "early"
+    assert heap.pop().label == "late"
+
+
+def test_len_counts_unpopped_events():
+    heap = EventHeap()
+    events = [heap.push(i, lambda: None) for i in range(4)]
+    assert len(heap) == 4
+    heap.pop()
+    assert len(heap) == 3
+    events[2].cancel()     # lazily discarded: len drops when skipped
+    heap.pop()             # pops event 1
+    heap.pop()             # skips cancelled 2, pops 3
+    assert len(heap) == 0
+
+
+def test_cancelled_event_skipped_on_pop():
+    heap = EventHeap()
+    heap.push(1, lambda: None, label="a")
+    victim = heap.push(2, lambda: None, label="b")
+    heap.push(3, lambda: None, label="c")
+    victim.cancel()
+    assert heap.pop().label == "a"
+    assert heap.pop().label == "c"
+    assert heap.pop() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventHeap().pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    heap = EventHeap()
+    first = heap.push(1, lambda: None)
+    heap.push(9, lambda: None)
+    first.cancel()
+    assert heap.peek_time() == 9
+
+
+def test_peek_time_empty():
+    assert EventHeap().peek_time() is None
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SchedulingError):
+        EventHeap().push(-1, lambda: None)
+
+
+def test_event_comparison_ignores_action():
+    a = Event(time=1, priority=0, seq=0, action=lambda: None)
+    b = Event(time=1, priority=0, seq=1, action=lambda: None)
+    assert a < b
+
+
+def test_many_events_fifo_at_same_time():
+    heap = EventHeap()
+    count = 500
+    for index in range(count):
+        heap.push(42, lambda: None, label=str(index))
+    labels = [heap.pop().label for _ in range(count)]
+    assert labels == [str(i) for i in range(count)]

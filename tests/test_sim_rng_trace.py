@@ -1,0 +1,110 @@
+"""Unit tests for DeterministicRNG and TraceLog."""
+
+from repro.sim import DeterministicRNG, TraceLog
+
+
+# -- RNG ---------------------------------------------------------------------
+
+def test_same_seed_same_stream():
+    a = DeterministicRNG(42)
+    b = DeterministicRNG(42)
+    assert [a.randint(0, 100) for _ in range(20)] == \
+           [b.randint(0, 100) for _ in range(20)]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.randint(0, 10 ** 9) for _ in range(5)] != \
+           [b.randint(0, 10 ** 9) for _ in range(5)]
+
+
+def test_fork_is_reproducible():
+    a = DeterministicRNG(7).fork("clients")
+    b = DeterministicRNG(7).fork("clients")
+    assert a.randint(0, 10 ** 9) == b.randint(0, 10 ** 9)
+
+
+def test_fork_labels_independent():
+    root = DeterministicRNG(7)
+    a = root.fork("alpha")
+    b = root.fork("beta")
+    assert a.randint(0, 10 ** 9) != b.randint(0, 10 ** 9)
+
+
+def test_fork_not_perturbed_by_parent_draws():
+    root1 = DeterministicRNG(9)
+    root1.randint(0, 100)  # consume parent state
+    root2 = DeterministicRNG(9)
+    assert root1.fork("x").randint(0, 10 ** 9) == \
+           root2.fork("x").randint(0, 10 ** 9)
+
+
+def test_choice_and_shuffle():
+    rng = DeterministicRNG(3)
+    options = list(range(10))
+    assert rng.choice(options) in options
+    items = list(range(10))
+    rng.shuffle(items)
+    assert sorted(items) == list(range(10))
+
+
+def test_sample_distinct():
+    rng = DeterministicRNG(3)
+    sample = rng.sample(range(100), 10)
+    assert len(set(sample)) == 10
+
+
+# -- TraceLog ------------------------------------------------------------------
+
+def test_emit_and_select():
+    log = TraceLog()
+    log.emit(1, "a", x=1)
+    log.emit(2, "b", x=2)
+    log.emit(3, "a", x=3)
+    assert len(log) == 3
+    assert [r.time for r in log.select("a")] == [1, 3]
+    assert log.count("b") == 1
+
+
+def test_select_with_predicate():
+    log = TraceLog()
+    for value in range(5):
+        log.emit(value, "tick", value=value)
+    hits = log.select("tick", where=lambda r: r.detail["value"] >= 3)
+    assert [r.detail["value"] for r in hits] == [3, 4]
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.emit(1, "a")
+    assert len(log) == 0
+
+
+def test_category_filter():
+    log = TraceLog(categories=["keep"])
+    log.emit(1, "keep")
+    log.emit(2, "drop")
+    assert len(log) == 1
+
+
+def test_dump_truncation():
+    log = TraceLog()
+    for i in range(10):
+        log.emit(i, "x")
+    text = log.dump(limit=3)
+    assert "7 more records" in text
+
+
+def test_clear():
+    log = TraceLog()
+    log.emit(1, "x")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_record_format_is_readable():
+    log = TraceLog()
+    log.emit(42, "msg.sent", pid=7, chan=3)
+    line = log.dump()
+    assert "msg.sent" in line and "pid=7" in line

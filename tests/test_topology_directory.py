@@ -1,0 +1,133 @@
+"""Unit tests for machine topology (figure F1) and the directory."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.hardware.topology import Topology
+from repro.kernel.directory import Directory, DirectoryError
+
+
+# -- Topology / figure F1 ------------------------------------------------------
+
+def topo(n=3):
+    return Topology.default(MachineConfig(n_clusters=n).validate())
+
+
+def test_default_has_fs_and_paging_disks_and_tty():
+    summary = topo().summary()
+    assert summary["disks"] >= 2
+    assert summary["ttys"] == 1
+
+
+def test_all_peripherals_dual_ported():
+    assert topo(8).summary()["all_peripherals_dual_ported"]
+
+
+def test_cluster_may_have_no_peripherals():
+    """Section 7.1: 'It is possible for a cluster to have no peripherals.'"""
+    t = topo(3)
+    assert t.disks_for(2) == []
+
+
+def test_extra_disks_for_larger_machines():
+    assert topo(6).summary()["disks"] > topo(2).summary()["disks"]
+
+
+def test_build_disks_ported_correctly():
+    disks = topo().build_disks()
+    assert disks["disk0"].ports == (0, 1)
+    assert "pagedisk" in disks
+
+
+def test_render_mentions_every_cluster_and_the_bus():
+    art = topo(4).render()
+    for cid in range(4):
+        assert f"Processor Cluster {cid}" in art
+    assert "intercluster bus" in art
+    assert "Executive Processor" in art
+
+
+def test_summary_processor_counts():
+    summary = topo(3).summary()
+    assert summary["work_processors"] == 6
+    assert summary["executive_processors"] == 3
+
+
+# -- Directory -------------------------------------------------------------------
+
+def directory(n=4):
+    d = Directory(n_clusters=n)
+    d.register_server("fs", 1, 0, 1)
+    return d
+
+
+def test_server_lookup():
+    d = directory()
+    assert d.server("fs").pid == 1
+    with pytest.raises(DirectoryError):
+        d.server("nope")
+
+
+def test_default_backup_is_next_live_cluster():
+    d = directory()
+    assert d.default_backup_cluster(0) == 1
+    assert d.default_backup_cluster(3) == 0
+    d.mark_dead(1)
+    assert d.default_backup_cluster(0) == 2
+
+
+def test_mark_dead_fails_server_over():
+    d = directory()
+    d.mark_dead(0)
+    assert d.server("fs").primary_cluster == 1
+    assert d.server("fs").backup_cluster is None
+
+
+def test_mark_dead_idempotent():
+    d = directory()
+    d.mark_dead(0)
+    d.mark_dead(0)
+    assert d.server("fs").primary_cluster == 1
+
+
+def test_backup_loss_recorded():
+    d = directory()
+    d.mark_dead(1)
+    assert d.server("fs").backup_cluster is None
+    assert d.server("fs").primary_cluster == 0
+
+
+def test_both_clusters_lost_degrades():
+    """A genuine double failure degrades the server entry instead of
+    crashing the survivors; lookups then fail on use."""
+    d = directory()
+    d.mark_dead(0)
+    d.mark_dead(1)
+    assert d.servers["fs"].primary_cluster is None
+
+
+def test_live_clusters_and_restore():
+    d = directory()
+    d.mark_dead(2)
+    assert d.live_clusters() == [0, 1, 3]
+    d.mark_restored(2)
+    assert d.live_clusters() == [0, 1, 2, 3]
+
+
+def test_fullback_placement_avoids_home_and_crashed():
+    d = directory()
+    target = d.fullback_backup_cluster(new_home=1, crashed=0)
+    assert target not in (0, 1)
+
+
+def test_fullback_needs_third_cluster():
+    d = Directory(n_clusters=2)
+    with pytest.raises(DirectoryError):
+        d.fullback_backup_cluster(new_home=1, crashed=0)
+
+
+def test_no_live_cluster_for_backup_raises():
+    d = Directory(n_clusters=2)
+    d.dead_clusters.add(1)
+    with pytest.raises(DirectoryError):
+        d.default_backup_cluster(0)

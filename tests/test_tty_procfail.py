@@ -1,0 +1,137 @@
+"""Tests for terminal input (device -> tty server -> clients) and for the
+section 10 individual-process-failure extension."""
+
+import pytest
+
+from repro.recovery.procfail import ProcFailure
+from repro.workloads import TtyEchoProgram, TtyWriterProgram
+from tests.conftest import make_machine
+
+
+# -- terminal input ------------------------------------------------------------
+
+def echo_machine(lines=3, fail=None, crash=None):
+    machine = make_machine()
+    pid = machine.spawn(TtyEchoProgram(lines=lines), cluster=2,
+                        sync_reads_threshold=3)
+    for index in range(lines):
+        machine.tty_type(f"in{index}", at=5_000 + index * 10_000)
+    if fail is not None:
+        machine.fail_process(pid, at=fail)
+    if crash is not None:
+        machine.crash_cluster(crash[0], at=crash[1])
+    machine.run_until_idle(max_events=10_000_000)
+    return machine, pid
+
+
+def test_input_reaches_reader_in_order():
+    machine, pid = echo_machine()
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == ["echo:in0", "echo:in1", "echo:in2"]
+
+
+def test_input_buffered_until_read_requested():
+    """Input typed before anyone asks for it waits in the server."""
+    machine = make_machine()
+    machine.tty_type("early", at=1_000)
+    pid = machine.spawn(TtyEchoProgram(lines=1), cluster=2)
+    machine.run_until_idle(max_events=10_000_000)
+    assert machine.tty_output() == ["echo:early"]
+
+
+def test_parked_read_served_when_input_arrives():
+    machine = make_machine()
+    pid = machine.spawn(TtyEchoProgram(lines=1), cluster=2)
+    machine.run(until=30_000)          # reader parks at the server
+    machine.tty_type("late")
+    machine.run_until_idle(max_events=10_000_000)
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == ["echo:late"]
+
+
+def test_input_survives_tty_server_failover():
+    """Crash the primary tty server's cluster between inputs: the active
+    backup takes over with buffered input and parked reads intact."""
+    baseline, _ = echo_machine()
+    machine, pid = echo_machine(crash=(0, 9_000))
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == baseline.tty_output()
+
+
+def test_reader_failure_recovers_without_losing_input():
+    """Fail the *reading process*: its backup replays the saved replies
+    and input is neither lost nor double-consumed."""
+    baseline, _ = echo_machine()
+    machine, pid = echo_machine(fail=8_000)
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == baseline.tty_output()
+
+
+# -- individual process failure (section 10) --------------------------------------
+
+def test_fail_process_promotes_only_that_process():
+    machine = make_machine()
+    victim = machine.spawn(TtyWriterProgram(lines=12, tag="v",
+                                            compute=2_000),
+                           cluster=2, sync_reads_threshold=3)
+    bystander = machine.spawn(TtyWriterProgram(lines=12, tag="b",
+                                               compute=2_000),
+                              cluster=2, sync_reads_threshold=3)
+    machine.fail_process(victim, at=15_000)
+    machine.run_until_idle(max_events=10_000_000)
+    assert machine.exits[victim] == 0
+    assert machine.exits[bystander] == 0
+    assert machine.clusters[2].alive
+    assert machine.metrics.counter("procfail.promotions") == 1
+    assert machine.metrics.counter("recovery.crash_handlings") == 0
+
+
+def test_fail_process_output_equivalent():
+    def run(fail_at=None):
+        machine = make_machine()
+        pid = machine.spawn(TtyWriterProgram(lines=12, tag="a",
+                                             compute=2_000),
+                            cluster=2, sync_reads_threshold=3)
+        if fail_at is not None:
+            machine.fail_process(pid, at=fail_at)
+        machine.run_until_idle(max_events=10_000_000)
+        return machine
+
+    baseline = run()
+    for fail_at in (5_000, 15_000, 30_000):
+        machine = run(fail_at=fail_at)
+        assert machine.tty_output() == baseline.tty_output(), fail_at
+        assert machine.exits == baseline.exits
+
+
+def test_fail_unknown_process_raises():
+    machine = make_machine()
+    with pytest.raises(ProcFailure):
+        machine.fail_process(424242)
+
+
+def test_failed_process_correspondent_reroutes():
+    """A peer mid-conversation with the failed process finishes against
+    the promoted backup."""
+    from repro.workloads import PingProgram, PongProgram
+
+    machine = make_machine()
+    a = machine.spawn(PingProgram(rounds=15), cluster=0,
+                      sync_reads_threshold=4)
+    b = machine.spawn(PongProgram(rounds=15), cluster=2,
+                      sync_reads_threshold=4)
+    machine.fail_process(b, at=12_000)
+    machine.run_until_idle(max_events=10_000_000)
+    assert machine.exits[a] == 0
+    assert machine.exits[b] == 0
+
+
+def test_unsynced_process_fail_restarts_from_notice():
+    machine = make_machine()
+    pid = machine.spawn(TtyWriterProgram(lines=6, tag="a", compute=2_000),
+                        cluster=2, sync_reads_threshold=10 ** 6,
+                        sync_time_threshold=10 ** 12)
+    machine.fail_process(pid, at=8_000)
+    machine.run_until_idle(max_events=10_000_000)
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == [f"a:{i}" for i in range(6)]
