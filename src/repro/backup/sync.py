@@ -31,6 +31,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.pcb import ProcessControlBlock
 
 
+def clamp_alarm_remaining(remaining: Ticks) -> Ticks:
+    """The single clamp applied to an alarm's remaining time, both when a
+    sync records it and when a promotion re-arms it.
+
+    An alarm expiring exactly at the sync instant has ``remaining == 0``
+    and must fire immediately after failover — the same relative time the
+    lost primary would have seen.  Using different floors on the two
+    sides (the historical ``max(0, ...)`` vs ``max(1, ...)`` split) makes
+    the replayed timeline diverge from the recorded one by a tick.
+    """
+    return max(0, remaining)
+
+
 def perform_sync(kernel: "ClusterKernel", pcb: "ProcessControlBlock",
                  full: bool = False,
                  target_cluster: Optional[ClusterId] = None,
@@ -101,7 +114,7 @@ def perform_sync(kernel: "ClusterKernel", pcb: "ProcessControlBlock",
         fds=dict(pcb.fds), next_fd=pcb.next_fd,
         channel_deltas=tuple(deltas),
         pending_alarms=tuple(
-            (seq, max(0, deadline - kernel.sim.now))
+            (seq, clamp_alarm_remaining(deadline - kernel.sim.now))
             for seq, deadline in pcb.pending_alarms),
         create_backup=create_backup, full=full,
         program=pcb.program if full else None,
@@ -152,7 +165,7 @@ def perform_sync(kernel: "ClusterKernel", pcb: "ProcessControlBlock",
     kernel.metrics.incr("sync.pages", len(dirty))
     kernel.metrics.record("sync.stall_ticks", stall)
     kernel.trace.emit(kernel.sim.now, "sync.primary", pid=pcb.pid,
-                      seq=pcb.sync_seq, pages=len(dirty),
-                      deltas=len(deltas), full=full)
+                      cluster=kernel.cluster_id, seq=pcb.sync_seq,
+                      pages=len(dirty), deltas=len(deltas), full=full)
     pcb.last_sync_time = kernel.sim.now
     return stall

@@ -7,6 +7,10 @@ Commands:
 * ``topology``  — render the section 7.1 architecture figure.
 * ``oltp``      — the bank workload with a fullback server crash.
 * ``overhead``  — the E1 failure-free overhead comparison table.
+* ``campaign``  — a seeded fault-injection sweep: N scenarios with
+  crashes at schedule-driven and semantic trigger points, invariant
+  checks after each, pass/fail + recovery-latency aggregation, optional
+  JSON report (see ``docs/faults.md``).
 
 Every command accepts ``--clusters N`` and ``--seed S`` where meaningful.
 """
@@ -14,6 +18,7 @@ Every command accepts ``--clusters N`` and ``--seed S`` where meaningful.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -95,6 +100,61 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .faults import run_campaign, run_seed
+
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    report = run_campaign(seeds, n_clusters=args.clusters)
+    rows = []
+    for result in report.results:
+        latencies = result.recovery_latencies
+        rows.append([
+            result.seed, result.kind,
+            "yes" if result.survivable else "no",
+            len(result.injected),
+            "PASS" if result.passed else "FAIL",
+            result.promotions, result.aborted_transmissions,
+            (f"{sum(latencies) / len(latencies):.0f}" if latencies
+             else "-"),
+        ])
+    print(format_table(
+        ["seed", "fault class", "survivable", "faults fired", "result",
+         "promotions", "aborted tx", "mean recovery (ticks)"],
+        rows, title=f"Fault-injection campaign: {len(report.results)} "
+                    f"seeded scenarios on {args.clusters} clusters"))
+    pooled = report.pooled_recovery_latencies()
+    print(f"\n{report.passed}/{len(report.results)} scenarios passed; "
+          f"fault classes covered: {report.kinds_covered()}")
+    if pooled:
+        print(f"recovery latency over {len(pooled)} crash handlings: "
+              f"min={min(pooled)} mean={sum(pooled) / len(pooled):.0f} "
+              f"max={max(pooled)} ticks")
+
+    verified = True
+    for seed in seeds[:args.verify]:
+        digest = report.results[seed - args.base_seed].digest
+        redo = run_seed(seed, n_clusters=args.clusters)
+        same = redo.digest == digest
+        verified &= same
+        print(f"determinism: seed {seed} re-run trace "
+              f"{'matches byte-for-byte' if same else 'DIVERGED'}")
+
+    failure = report.first_failure()
+    if failure is not None:
+        print(f"\nfirst failing seed {failure.seed} "
+              f"({failure.plan}); injected: {failure.injected}")
+        for violation in failure.violations:
+            print(f"  violation: {violation}")
+        print(f"  trace tail ({len(failure.trace_tail)} records):")
+        for line in failure.trace_tail:
+            print(f"    {line}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    return 0 if failure is None and verified else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--clusters", type=int, default=3)
@@ -108,6 +168,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                      ("oltp", cmd_oltp), ("overhead", cmd_overhead)):
         command = sub.add_parser(name, parents=[common])
         command.set_defaults(fn=fn)
+    campaign = sub.add_parser("campaign", parents=[common])
+    campaign.add_argument("--seeds", type=int, default=25,
+                          help="number of scenarios to run")
+    campaign.add_argument("--base-seed", type=int, default=0,
+                          help="first seed of the sweep")
+    campaign.add_argument("--json", type=str, default="",
+                          help="write the aggregated report to this path")
+    campaign.add_argument("--verify", type=int, default=1,
+                          help="re-run the first K seeds and check the "
+                               "trace reproduces byte-for-byte")
+    campaign.set_defaults(fn=cmd_campaign)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -1,0 +1,32 @@
+"""Deterministic fault-injection campaigns (see ``docs/faults.md``).
+
+Public surface:
+
+* :class:`FaultInjector` with schedule-driven (``crash_at``) and
+  semantic (``crash_on`` + :class:`TracePoint`) fault aiming;
+* trigger constructors ``nth_sync`` / ``nth_transmission`` /
+  ``recovery_begin`` / ``nth_promotion``;
+* :func:`run_seed` / :func:`run_campaign` — seeded scenario sweeps with
+  invariant checking;
+* :func:`check_scenario` — the invariant battery on its own.
+"""
+
+from .injector import (FaultInjector, InjectionRecord, TracePoint,
+                       nth_promotion, nth_sync, nth_transmission,
+                       recovery_begin)
+from .invariants import (check_all_runnable, check_external_behaviour,
+                         check_metrics_sanity, check_scenario)
+from .campaign import (FAULT_KINDS, CampaignReport, FaultPlan,
+                       ScenarioResult, build_plan, install_plan,
+                       run_campaign, run_seed, trace_digest,
+                       verify_reproducibility)
+
+__all__ = [
+    "FaultInjector", "InjectionRecord", "TracePoint",
+    "nth_promotion", "nth_sync", "nth_transmission", "recovery_begin",
+    "check_all_runnable", "check_external_behaviour",
+    "check_metrics_sanity", "check_scenario",
+    "FAULT_KINDS", "CampaignReport", "FaultPlan", "ScenarioResult",
+    "build_plan", "install_plan", "run_campaign", "run_seed",
+    "trace_digest", "verify_reproducibility",
+]

@@ -1,0 +1,295 @@
+"""Seeded fault-injection campaigns: many scenarios, one integer each.
+
+A campaign sweeps seeds; every seed expands deterministically — via
+:class:`~repro.sim.rng.DeterministicRNG` fork streams — into
+
+1. a random workload (the generator behind the property tests), and
+2. a :class:`FaultPlan`: which fault class, aimed where, triggered when.
+
+Fault classes are stratified by seed (``seed % len(FAULT_KINDS)``), so
+any sweep of N >= 6 consecutive seeds covers every class: crashes at
+arbitrary times, crashes *during a sync*, crashes mid bus transmission,
+double faults that kill the recovering cluster while its recovery is in
+progress, individual process failures, and crash-then-restore cycles.
+
+Each scenario runs twice — failure-free and faulted — and the invariant
+checkers (:mod:`repro.faults.invariants`) compare them.  The faulted
+run's full trace is hashed into a digest, so "re-running seed S
+reproduces the scenario byte-for-byte" is a checkable claim, not a hope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..config import MachineConfig
+from ..core.machine import Machine
+from ..sim.events import SimulationError
+from ..sim.rng import DeterministicRNG
+from ..types import Pid
+from ..workloads.generator import generate_scenario
+from .injector import (FaultInjector, nth_sync, nth_transmission,
+                       recovery_begin)
+from .invariants import check_scenario
+
+#: The fault classes a campaign draws from, in stratification order.
+FAULT_KINDS = ("time_crash", "sync_crash", "transmission_crash",
+               "recovery_double", "proc_fail", "crash_restore")
+
+#: Event budget per scenario run; a run that exhausts it is reported as
+#: a violation (the simulation livelocked), not an exception.
+MAX_EVENTS = 40_000_000
+
+#: Semantic triggers aim past the boot window: a spawn whose birth
+#: notice never escaped is unrecoverable by design (no parent to replay
+#: the fork) — the same >= 2ms floor the property tests crash at.
+BOOT_GRACE = 2_000
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scenario's fault schedule, fully determined by its seed."""
+
+    kind: str
+    #: Opaque, deterministic parameters interpreted by :func:`install_plan`.
+    params: Dict[str, Any]
+    #: Single-fault plans are survivable: exact external equivalence is
+    #: required.  Double faults only promise safety (see invariants).
+    survivable: bool
+
+    def describe(self) -> str:
+        inner = " ".join(f"{key}={value}"
+                         for key, value in sorted(self.params.items()))
+        return f"{self.kind}({inner})"
+
+
+def build_plan(rng: DeterministicRNG, kind: str,
+               n_clusters: int) -> FaultPlan:
+    """Expand one fault class into concrete, seeded aim points."""
+    victim = rng.randint(0, n_clusters - 1)
+    when = rng.randint(2_000, 60_000)
+    if kind == "time_crash":
+        return FaultPlan(kind, {"cluster": victim, "at": when}, True)
+    if kind == "sync_crash":
+        # Crash the syncing cluster squarely at its Nth sync: the sync
+        # message is enqueued but may never leave (section 7.8's "a sync
+        # that never leaves the crashed cluster simply never happened").
+        return FaultPlan(kind, {"nth": rng.choice([1, 1, 2])}, True)
+    if kind == "transmission_crash":
+        # Crash the sender on its Nth bus transmission, mid-flight —
+        # either a named cluster's or whoever transmits next.
+        return FaultPlan(kind, {"cluster": rng.choice([None, victim]),
+                                "nth": rng.randint(1, 2)}, True)
+    if kind == "recovery_double":
+        # First fault at a scheduled time; second fault hits the cluster
+        # that is busy recovering from the first — a true double fault.
+        return FaultPlan(kind, {"cluster": victim, "at": when}, False)
+    if kind == "proc_fail":
+        return FaultPlan(kind, {"pid_index": rng.randint(0, 7),
+                                "at": rng.randint(2_000, 12_000)}, True)
+    if kind == "crash_restore":
+        return FaultPlan(kind, {"cluster": victim, "at": when,
+                                "restore_after":
+                                    rng.randint(20_000, 60_000)}, True)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def install_plan(plan: FaultPlan, injector: FaultInjector,
+                 pids: Sequence[Pid]) -> None:
+    """Arm a plan's faults on a freshly built machine."""
+    params = plan.params
+    if plan.kind == "time_crash":
+        injector.crash_at(params["cluster"], params["at"])
+    elif plan.kind == "sync_crash":
+        injector.crash_on(nth_sync(nth=params["nth"], after=BOOT_GRACE),
+                          from_detail="cluster")
+    elif plan.kind == "transmission_crash":
+        injector.crash_on(nth_transmission(nth=params["nth"],
+                                           src=params["cluster"],
+                                           after=BOOT_GRACE),
+                          from_detail="src")
+    elif plan.kind == "recovery_double":
+        injector.crash_at(params["cluster"], params["at"])
+        injector.crash_on(recovery_begin(), from_detail="cluster")
+    elif plan.kind == "proc_fail":
+        if pids:
+            pid = pids[params["pid_index"] % len(pids)]
+            injector.fail_process_at(pid, params["at"])
+    elif plan.kind == "crash_restore":
+        injector.crash_at(params["cluster"], params["at"])
+        injector.restore_at(params["cluster"],
+                            params["at"] + params["restore_after"])
+    else:  # pragma: no cover - guarded by build_plan
+        raise ValueError(f"unknown fault kind {plan.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# one seed
+# ----------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one seeded scenario."""
+
+    seed: int
+    kind: str
+    plan: str
+    survivable: bool
+    passed: bool
+    violations: List[str] = field(default_factory=list)
+    injected: List[str] = field(default_factory=list)
+    digest: str = ""
+    end_time: int = 0
+    events: int = 0
+    promotions: int = 0
+    server_promotions: int = 0
+    aborted_transmissions: int = 0
+    transmissions: int = 0
+    recovery_latencies: List[int] = field(default_factory=list)
+    trace_tail: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed, "kind": self.kind, "plan": self.plan,
+            "survivable": self.survivable, "passed": self.passed,
+            "violations": self.violations, "injected": self.injected,
+            "digest": self.digest, "end_time": self.end_time,
+            "events": self.events, "promotions": self.promotions,
+            "server_promotions": self.server_promotions,
+            "aborted_transmissions": self.aborted_transmissions,
+            "transmissions": self.transmissions,
+            "recovery_latencies": self.recovery_latencies,
+        }
+
+
+def trace_digest(machine: Machine) -> str:
+    """SHA-256 over every formatted trace record: the byte-for-byte
+    reproducibility witness for a scenario."""
+    hasher = hashlib.sha256()
+    for record in machine.trace:
+        hasher.update(record.format().encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def run_seed(seed: int, n_clusters: int = 3,
+             max_events: int = MAX_EVENTS,
+             tail_lines: int = 40) -> ScenarioResult:
+    """Run one complete scenario: generate, run failure-free, run
+    faulted, check invariants."""
+    root = DeterministicRNG(seed)
+    workload_rng = root.fork("workload")
+    fault_rng = root.fork("faults")
+    kind = FAULT_KINDS[seed % len(FAULT_KINDS)]
+    plan = build_plan(fault_rng, kind, n_clusters)
+    scenario = generate_scenario(workload_rng.seed, n_clusters=n_clusters)
+
+    baseline = scenario.run(max_events=max_events)
+
+    faulted = Machine(MachineConfig(n_clusters=n_clusters,
+                                    trace_enabled=True))
+    pids = scenario.build(faulted)
+    injector = FaultInjector(faulted)
+    install_plan(plan, injector, pids)
+
+    violations: List[str] = []
+    try:
+        faulted.run_until_idle(max_events=max_events)
+    except SimulationError as error:
+        violations.append(f"simulation: {error}")
+    violations += check_scenario(baseline, faulted, plan.survivable,
+                                 injector.crashes_delivered())
+
+    result = ScenarioResult(
+        seed=seed, kind=kind, plan=plan.describe(),
+        survivable=plan.survivable, passed=not violations,
+        violations=violations,
+        injected=injector.describe_injected(),
+        digest=trace_digest(faulted),
+        end_time=faulted.sim.now,
+        events=faulted.sim.events_executed,
+        promotions=faulted.metrics.counter("recovery.promotions"),
+        server_promotions=faulted.metrics.counter("server.promotions"),
+        aborted_transmissions=faulted.metrics.counter(
+            "bus.aborted_transmissions"),
+        transmissions=faulted.metrics.counter("bus.transmissions"),
+        recovery_latencies=faulted.metrics.series(
+            "recovery.crash_handle_latency"))
+    if violations:
+        result.trace_tail = faulted.trace.tail(tail_lines)
+    return result
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of a seed sweep."""
+
+    n_clusters: int
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for result in self.results if result.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.passed
+
+    def first_failure(self) -> Optional[ScenarioResult]:
+        for result in self.results:
+            if not result.passed:
+                return result
+        return None
+
+    def kinds_covered(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.kind] = counts.get(result.kind, 0) + 1
+        return counts
+
+    def pooled_recovery_latencies(self) -> List[int]:
+        pooled: List[int] = []
+        for result in self.results:
+            pooled.extend(result.recovery_latencies)
+        return pooled
+
+    def as_dict(self) -> Dict[str, Any]:
+        latencies = self.pooled_recovery_latencies()
+        return {
+            "n_clusters": self.n_clusters,
+            "scenarios": len(self.results),
+            "passed": self.passed,
+            "failed": self.failed,
+            "kinds": self.kinds_covered(),
+            "recovery_latency": {
+                "samples": len(latencies),
+                "min": min(latencies) if latencies else None,
+                "max": max(latencies) if latencies else None,
+                "mean": (sum(latencies) / len(latencies))
+                        if latencies else None,
+            },
+            "results": [result.as_dict() for result in self.results],
+        }
+
+
+def run_campaign(seeds: Sequence[int], n_clusters: int = 3,
+                 max_events: int = MAX_EVENTS) -> CampaignReport:
+    """Run every seed and aggregate."""
+    report = CampaignReport(n_clusters=n_clusters)
+    for seed in seeds:
+        report.results.append(run_seed(seed, n_clusters=n_clusters,
+                                       max_events=max_events))
+    return report
+
+
+def verify_reproducibility(seed: int, n_clusters: int = 3) -> bool:
+    """Re-run ``seed`` twice; True iff the traces match byte-for-byte."""
+    first = run_seed(seed, n_clusters=n_clusters)
+    second = run_seed(seed, n_clusters=n_clusters)
+    return first.digest == second.digest and first.digest != ""

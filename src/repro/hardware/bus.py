@@ -89,7 +89,11 @@ class InterclusterBus:
                              msg=self._current.message.describe())
             self._metrics.incr("bus.aborted_transmissions")
             self._current = None
-            # The completion event will observe the abort and reschedule.
+            # Re-grant immediately: queued traffic from live clusters must
+            # not stall until the aborted transmission's original
+            # completion event fires.  That stale event sees a different
+            # ``_current`` and is a no-op.
+            self._grant_next()
 
     def _grant_next(self) -> None:
         if self._current is not None:
@@ -122,15 +126,16 @@ class InterclusterBus:
 
     def _complete(self, transmission: _Transmission) -> None:
         if self._current is not transmission:
-            # Aborted mid-flight by a sender crash; just move the bus on.
-            if self._current is None:
-                self._grant_next()
+            # Aborted mid-flight by a sender crash; the abort re-granted
+            # the bus already, so this stale completion does nothing.
             return
         self._current = None
         message = transmission.message
         src_cluster = self._clusters[transmission.src]
         if not src_cluster.alive:
             # Sender died at the exact completion instant: treat as lost.
+            self._trace.emit(self._sim.now, "bus.aborted",
+                             src=transmission.src, msg=message.describe())
             self._metrics.incr("bus.aborted_transmissions")
         else:
             self._deliver_all(message)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Optional, TYPE_CHECKING
 
 from ..backup.modes import BackupMode
+from ..backup.sync import clamp_alarm_remaining
 from ..kernel.pcb import BackupRecord, ProcState, ProcessControlBlock
 from ..kernel.nondet import NondetBuffer
 from ..messages.payloads import BackupReady, PageAccountOp
@@ -104,7 +105,7 @@ def promote(kernel: "ClusterKernel", record: BackupRecord,
     # Re-arm alarms outstanding at the sync point (delivered signals are
     # deduplicated through the _sig_seen register).
     for seq, remaining in record.pending_alarms:
-        kernel.schedule_alarm(pcb, seq, max(1, remaining))
+        kernel.schedule_alarm(pcb, seq, clamp_alarm_remaining(remaining))
 
     mode = record.backup_mode
     kernel.metrics.incr("recovery.promotions")

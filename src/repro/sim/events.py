@@ -90,9 +90,17 @@ class EventHeap:
         return None
 
     def peek_time(self) -> Optional[int]:
-        """Return the virtual time of the next live event without popping it."""
+        """Return the virtual time of the next live event without popping it.
+
+        Cancelled events discarded here must decrement the unpopped count
+        exactly as :meth:`pop` does — otherwise ``len(heap)`` reports
+        phantom events after a peek past a cancelled head, and callers
+        like ``Simulator.run_until_idle`` see a non-zero ``pending()``
+        with nothing left to run.
+        """
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._live -= 1
         if not self._heap:
             return None
         return self._heap[0].time

@@ -45,6 +45,7 @@ class TraceLog:
         self.enabled = enabled
         self._only = set(categories) if categories is not None else None
         self._records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -52,14 +53,38 @@ class TraceLog:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously for *every* emitted
+        record, regardless of the ``enabled`` flag or category filter.
+
+        This is the hook semantic fault-injection triggers attach to
+        (:mod:`repro.faults`): emit points mark the interesting
+        transitions — "Nth sync of pid", "first transmission from cluster
+        C", "a recovery began" — so a listener can act on them without
+        the components knowing about fault injection.  Listeners must be
+        deterministic; anything they schedule goes through the simulator
+        and keeps the run reproducible.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def emit(self, time: int, category: str, **detail: Any) -> None:
-        """Append one record (no-op when disabled or filtered out)."""
-        if not self.enabled:
+        """Append one record (no-op when disabled or filtered out).
+
+        Subscribed listeners observe the record even when recording is
+        disabled or the category is filtered out of storage.
+        """
+        if not self.enabled and not self._listeners:
             return
-        if self._only is not None and category not in self._only:
-            return
-        self._records.append(TraceRecord(time=time, category=category,
-                                         detail=detail))
+        record = TraceRecord(time=time, category=category, detail=detail)
+        if self.enabled and (self._only is None or category in self._only):
+            self._records.append(record)
+        for listener in list(self._listeners):
+            listener(record)
 
     def select(self, category: Optional[str] = None,
                where: Optional[Callable[[TraceRecord], bool]] = None
@@ -85,6 +110,11 @@ class TraceLog:
         if limit is not None and len(self._records) > limit:
             lines.append(f"... {len(self._records) - limit} more records")
         return "\n".join(lines)
+
+    def tail(self, count: int) -> List[str]:
+        """The last ``count`` records as formatted lines (failure reports
+        show the end of a diverged run's timeline)."""
+        return [record.format() for record in self._records[-count:]]
 
     def clear(self) -> None:
         """Drop all records (keeps enabled/filter settings)."""

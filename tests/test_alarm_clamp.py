@@ -1,0 +1,62 @@
+"""Regression tests for the alarm-remaining clamp.
+
+The sync path records each pending alarm as a *remaining* delay; the
+promotion path re-arms it.  Both must apply the same zero-floor clamp
+(:func:`repro.backup.sync.clamp_alarm_remaining`): an alarm due exactly
+at the sync instant has remaining 0 and must fire immediately after
+failover.  Before the fix, promotion floored the delay at 1 tick while
+the sync recorded 0, so the promoted process saw a due alarm one tick
+later than the lost primary would have.
+"""
+
+from repro.backup.sync import clamp_alarm_remaining, perform_sync
+from repro.workloads import TtyWriterProgram
+from tests.conftest import make_machine
+
+
+def test_clamp_is_a_zero_floor():
+    assert clamp_alarm_remaining(-5) == 0
+    assert clamp_alarm_remaining(0) == 0
+    assert clamp_alarm_remaining(7) == 7
+
+
+def test_sync_records_zero_remaining_for_due_alarm():
+    """A sync taken at an alarm's exact deadline ships remaining == 0."""
+    machine = make_machine()
+    kernel = machine.kernels[0]
+    pid = machine.spawn(TtyWriterProgram(lines=30, tag="a", compute=2_000),
+                        cluster=0, sync_reads_threshold=3)
+    machine.run(until=5_000)
+    pcb = kernel.pcbs[pid]
+    kernel.schedule_alarm(pcb, seq=99, delay=0)     # due at this instant
+    kernel.schedule_alarm(pcb, seq=100, delay=400)
+    perform_sync(kernel, pcb)
+    machine.run(until=7_000)                        # just the delivery
+    record = machine.kernels[pcb.backup_cluster].backups[pid]
+    assert (99, 0) in record.pending_alarms
+    assert (100, 400) in record.pending_alarms
+
+
+def test_promote_rearms_due_alarm_with_zero_delay():
+    """Promotion re-arms a synced due alarm with delay 0, not 1."""
+    machine = make_machine()
+    pid = machine.spawn(TtyWriterProgram(lines=30, tag="p", compute=2_000),
+                        cluster=2, sync_reads_threshold=3)
+    backup_kernel = machine.kernels[machine.find_pcb(pid).backup_cluster]
+    machine.run(until=30_000)
+    record = backup_kernel.backups[pid]
+    assert record.synced_once
+    record.pending_alarms = [(7, 0), (8, 150)]
+
+    armed = []
+    original = backup_kernel.schedule_alarm
+
+    def recording(pcb, seq, delay):
+        armed.append((pcb.pid, seq, delay))
+        original(pcb, seq, delay)
+
+    backup_kernel.schedule_alarm = recording
+    machine.crash_cluster(2)
+    machine.run(until=95_000)                       # past one poll interval
+    assert (pid, 7, 0) in armed                     # pre-fix: delay 1
+    assert (pid, 8, 150) in armed

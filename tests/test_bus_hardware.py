@@ -143,6 +143,113 @@ def test_bus_bytes_accounting():
     assert metrics.counter("bus.bytes") == 150
 
 
+def build_traced(n=3):
+    """Like build(), but returns the TraceLog and timestamps deliveries."""
+    sim = Simulator()
+    config = MachineConfig(n_clusters=n).validate()
+    metrics = MetricSet()
+    trace = sim.trace
+    bus = InterclusterBus(sim, config.costs, metrics, trace)
+    clusters = [Cluster(i, config, sim, bus, metrics, trace)
+                for i in range(n)]
+    kernels = []
+    for cluster in clusters:
+        kernel = TimestampingKernel(sim)
+        cluster.kernel = kernel
+        kernels.append(kernel)
+    return sim, bus, clusters, kernels, metrics, trace
+
+
+class TimestampingKernel:
+    """Kernel stub recording (msg_id, virtual time) per delivery."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.deliveries = []
+
+    def handle_delivery(self, message, delivery, seqno):
+        self.deliveries.append((message.msg_id, self.sim.now))
+
+    def halt(self):
+        pass
+
+
+def test_abort_regrants_bus_to_queued_live_cluster():
+    """Regression: when a sender crashes mid-flight, the bus re-grants at
+    the abort instant — a queued message from a live cluster must not
+    stall until the aborted transmission's original completion time."""
+    sim, bus, clusters, kernels, metrics, trace = build_traced()
+    # Cluster 0 occupies the bus until t = 30 + 50 + 1000 = 1080;
+    # cluster 1's message queues behind it.
+    clusters[0].send(msg(1, [leg(2)], size=1000))
+    clusters[1].send(msg(2, [leg(2)], size=64))
+    sim.call_at(500, clusters[0].crash)
+    sim.run_until_idle()
+    received = dict(kernels[2].deliveries)
+    assert 1 not in received                      # all-or-none
+    # Departed at the abort (t=500), not at the stale completion (1080).
+    assert received[2] < 1080
+    departures = trace.select("bus.transmit",
+                              where=lambda r: r.detail["src"] == 1)
+    assert [record.time for record in departures] == [500]
+    assert metrics.counter("bus.aborted_transmissions") == 1
+
+
+def test_stale_completion_after_abort_is_noop():
+    """The aborted transmission's completion event still fires; it must
+    neither deliver nor double-grant."""
+    sim, bus, clusters, kernels, metrics, trace = build_traced()
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)],
+                         size=1000))
+    clusters[1].send(msg(2, [leg(2)], size=64))
+    sim.call_at(500, clusters[0].crash)
+    sim.run_until_idle()
+    # Exactly one delivery of message 2, nothing from message 1.
+    assert [m for m, _ in kernels[2].deliveries] == [2]
+    assert metrics.counter("bus.transmissions") == 2
+    assert sim.pending() == 0
+
+
+def test_abort_with_empty_queue_leaves_bus_usable():
+    sim, bus, clusters, kernels, metrics, trace = build_traced()
+    clusters[0].send(msg(1, [leg(1)], size=500))
+    sim.call_at(200, clusters[0].crash)
+    sim.run_until_idle()
+    assert not bus.busy
+    clusters[1].send(msg(2, [leg(2)]))
+    sim.run_until_idle()
+    assert [m for m, _ in kernels[2].deliveries] == [2]
+
+
+def test_sender_dead_at_completion_instant_is_lost():
+    """White-box: the sender's cluster goes dead without a bus abort (the
+    defensive branch in _complete) — the message is lost in its entirety
+    and counted as aborted."""
+    sim, bus, clusters, kernels, metrics, trace = build_traced()
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    clusters[1].send(msg(2, [leg(2)], size=64))
+    # Drop the sender dead mid-flight without notifying the bus.
+    sim.call_at(60, lambda: setattr(clusters[0], "alive", False))
+    sim.run_until_idle()
+    assert all(m != 1 for m, _ in kernels[1].deliveries)
+    assert all(m != 1 for m, _ in kernels[2].deliveries)
+    assert [m for m, _ in kernels[2].deliveries] == [2]
+    assert metrics.counter("bus.aborted_transmissions") == 1
+
+
+def test_aborted_transmissions_metric_matches_trace():
+    """bus.aborted_transmissions counts exactly the bus.aborted records,
+    for both the mid-flight and the dead-at-completion paths."""
+    sim, bus, clusters, kernels, metrics, trace = build_traced()
+    clusters[0].send(msg(1, [leg(1)], size=800))
+    sim.call_at(300, clusters[0].crash)                 # mid-flight abort
+    clusters[1].send(msg(2, [leg(2)], size=64))
+    sim.call_at(350, lambda: setattr(clusters[1], "alive", False))
+    sim.run_until_idle()
+    aborted = metrics.counter("bus.aborted_transmissions")
+    assert aborted == trace.count("bus.aborted") == 2
+
+
 def test_executive_runs_serially_in_fifo_order():
     sim = Simulator()
     metrics = MetricSet()

@@ -1,0 +1,79 @@
+"""Campaign engine tests: seeded plans, invariants, reproducibility,
+and the ``repro campaign`` CLI."""
+
+import json
+
+from repro import cli
+from repro.faults import (FAULT_KINDS, build_plan, run_campaign, run_seed,
+                          verify_reproducibility)
+from repro.sim.rng import DeterministicRNG
+
+
+def test_fault_kinds_stratified_by_seed():
+    report = run_campaign(range(len(FAULT_KINDS)))
+    assert [r.kind for r in report.results] == list(FAULT_KINDS)
+    assert set(report.kinds_covered()) == set(FAULT_KINDS)
+
+
+def test_build_plan_is_deterministic():
+    for kind in FAULT_KINDS:
+        first = build_plan(DeterministicRNG(42), kind, 3)
+        second = build_plan(DeterministicRNG(42), kind, 3)
+        assert first == second
+        assert first.survivable == (kind != "recovery_double")
+
+
+def test_single_fault_scenarios_pass_invariants():
+    # One survivable scenario of each single-fault class (seeds 0..5
+    # minus the double-fault stratum).
+    for seed in (0, 1, 2, 4, 5):
+        result = run_seed(seed)
+        assert result.passed, (seed, result.violations)
+        assert result.survivable
+
+
+def test_double_fault_scenario_holds_safety():
+    result = run_seed(3)                   # seed 3 -> recovery_double
+    assert result.kind == "recovery_double"
+    assert not result.survivable
+    assert result.passed, result.violations
+
+
+def test_seed_reruns_reproduce_trace_byte_for_byte():
+    assert verify_reproducibility(1)
+    assert verify_reproducibility(3)
+
+
+def test_scenario_result_serializes():
+    result = run_seed(0)
+    data = result.as_dict()
+    assert data["seed"] == 0
+    assert data["kind"] == FAULT_KINDS[0]
+    assert isinstance(data["digest"], str) and len(data["digest"]) == 64
+    json.dumps(data)                       # round-trips to JSON
+
+
+def test_failure_reporting_carries_trace_tail():
+    """A scenario violating an invariant reports the end of its trace."""
+    # Exhausting a tiny event budget is reported as a violation, not an
+    # exception — and the tail is attached for debugging.
+    # budget fits the failure-free run (315 events) but not the faulted
+    # run's extra recovery work (446) -> reported as a violation.
+    result = run_seed(0, max_events=400)
+    assert not result.passed
+    assert any(v.startswith("simulation:") for v in result.violations)
+    assert result.trace_tail
+
+
+def test_campaign_cli_end_to_end(tmp_path, capsys):
+    report_path = tmp_path / "campaign.json"
+    code = cli.main(["campaign", "--seeds", "6", "--verify", "1",
+                     "--json", str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "6/6 scenarios passed" in out
+    assert "matches byte-for-byte" in out
+    data = json.loads(report_path.read_text())
+    assert data["scenarios"] == 6 and data["failed"] == 0
+    assert set(data["kinds"]) == set(FAULT_KINDS)
+    assert data["recovery_latency"]["samples"] >= 1

@@ -1,0 +1,144 @@
+"""Unit tests for the fault injector: trigger-point matching, arming,
+schedule-driven points, and the injected-fault record."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+from repro.faults import (FaultInjector, TracePoint, nth_promotion,
+                          nth_sync, nth_transmission, recovery_begin)
+from repro.workloads import TtyWriterProgram
+from tests.conftest import make_machine
+
+
+def rec(time, category, **detail):
+    return TraceRecord(time=time, category=category, detail=detail)
+
+
+# ----------------------------------------------------------------------
+# TracePoint matching
+# ----------------------------------------------------------------------
+
+def test_point_matches_category_and_detail():
+    point = TracePoint("sync.primary", match=(("pid", 7),))
+    assert point.matches(rec(10, "sync.primary", pid=7, seq=1))
+    assert not point.matches(rec(10, "sync.primary", pid=8))
+    assert not point.matches(rec(10, "bus.transmit", pid=7))
+
+
+def test_point_missing_detail_key_never_matches():
+    point = TracePoint("bus.transmit", match=(("src", 2),))
+    assert not point.matches(rec(10, "bus.transmit"))
+
+
+def test_point_after_floor():
+    point = TracePoint("sync.primary", after=2_000)
+    assert not point.matches(rec(1_999, "sync.primary"))
+    assert point.matches(rec(2_000, "sync.primary"))
+
+
+def test_constructors_build_expected_filters():
+    assert nth_sync(nth=2, pid=5).match == (("pid", 5),)
+    assert nth_sync(cluster=1).match == (("cluster", 1),)
+    assert nth_transmission(src=0).category == "bus.transmit"
+    assert recovery_begin().category == "crash.handling_begin"
+    assert nth_promotion(nth=3).nth == 3
+    assert nth_sync(after=2_000).after == 2_000
+
+
+def test_describe_names_the_point():
+    assert nth_sync(nth=2, pid=5).describe() == "sync.primary#2[pid=5]"
+
+
+# ----------------------------------------------------------------------
+# arming against a live machine
+# ----------------------------------------------------------------------
+
+def test_trigger_fires_on_nth_occurrence_only():
+    machine = make_machine(trace=True)
+    machine.spawn(TtyWriterProgram(lines=20, tag="x", compute=2_000),
+                  cluster=0, sync_reads_threshold=3)
+    injector = FaultInjector(machine)
+    fired = []
+    injector.on(nth_sync(nth=2),
+                lambda record: fired.append(machine.sim.now))
+    machine.run_until_idle(max_events=20_000_000)
+    syncs = [r.time for r in machine.trace.select("sync.primary")]
+    assert len(syncs) >= 2
+    # Fired exactly once, at the second sync's tick (zero-delay event).
+    assert fired == [syncs[1]]
+
+
+def test_crash_on_takes_victim_from_record_detail():
+    machine = make_machine(trace=True)
+    pid = machine.spawn(TtyWriterProgram(lines=20, tag="y", compute=2_000),
+                        cluster=2, sync_reads_threshold=3)
+    injector = FaultInjector(machine)
+    injector.crash_on(nth_sync(nth=1, after=2_000), from_detail="cluster")
+    machine.run_until_idle(max_events=20_000_000)
+    # The syncing cluster (the pid's home, cluster 2) was crashed...
+    assert [r.detail["cluster"] for r in injector.injected
+            if r.kind == "crash"] == [2]
+    assert injector.crashes_delivered() == 1
+    # ...and recovery still brought the process to a clean exit.
+    assert machine.exits[pid] == 0
+
+
+def test_crash_at_is_recorded_and_traced():
+    machine = make_machine(trace=True)
+    machine.spawn(TtyWriterProgram(lines=10, tag="z", compute=2_000),
+                  cluster=1, sync_reads_threshold=3)
+    injector = FaultInjector(machine)
+    injector.crash_at(1, 9_000)
+    machine.run_until_idle(max_events=20_000_000)
+    assert not machine.clusters[1].alive
+    assert [(r.time, r.kind) for r in injector.injected] == [(9_000, "crash")]
+    inject_records = machine.trace.select("fault.inject")
+    assert [(r.time, r.detail["kind"]) for r in inject_records] \
+        == [(9_000, "crash")]
+    assert injector.describe_injected() == ["t=9000 crash cluster=1"]
+
+
+def test_restore_at_is_noop_when_cluster_is_up():
+    machine = make_machine(trace=True)
+    machine.spawn(TtyWriterProgram(lines=5, tag="n", compute=1_000),
+                  cluster=0)
+    injector = FaultInjector(machine)
+    injector.restore_at(1, 5_000)          # cluster 1 never went down
+    machine.run_until_idle(max_events=20_000_000)
+    assert injector.injected == []
+    assert machine.clusters[1].alive
+
+
+def test_fail_process_after_exit_is_noop():
+    machine = make_machine(trace=True)
+    pid = machine.spawn(TtyWriterProgram(lines=2, tag="s", compute=500),
+                        cluster=0)
+    injector = FaultInjector(machine)
+    injector.fail_process_at(pid, 500_000)  # long after it exits
+    machine.run_until_idle(max_events=20_000_000)
+    assert machine.exits[pid] == 0
+    assert injector.injected == []
+
+
+def test_listener_sees_records_with_storage_disabled():
+    """Triggers work on an untraced machine: emit still notifies
+    listeners when recording is off."""
+    trace = TraceLog(enabled=False)
+    seen = []
+    trace.subscribe(seen.append)
+    trace.emit(5, "sync.primary", pid=1)
+    assert len(trace) == 0                 # nothing stored...
+    assert [r.category for r in seen] == ["sync.primary"]   # ...but seen
+    trace.unsubscribe(seen.append)
+    trace.emit(6, "sync.primary", pid=1)
+    assert len(seen) == 1
+
+
+def test_detach_disarms_unfired_triggers():
+    machine = make_machine(trace=True)
+    machine.spawn(TtyWriterProgram(lines=10, tag="d", compute=2_000),
+                  cluster=0, sync_reads_threshold=3)
+    injector = FaultInjector(machine)
+    injector.crash_on(nth_sync(nth=1))
+    injector.detach()
+    machine.run_until_idle(max_events=20_000_000)
+    assert injector.injected == []
+    assert all(cluster.alive for cluster in machine.clusters)

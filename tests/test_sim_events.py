@@ -77,6 +77,30 @@ def test_peek_time_empty():
     assert EventHeap().peek_time() is None
 
 
+def test_peek_time_discard_decrements_len():
+    """Regression: cancelled events discarded by peek_time must come off
+    the live count exactly as pop's lazy discard does — otherwise the
+    heap reports phantom pending events forever."""
+    heap = EventHeap()
+    victim = heap.push(1, lambda: None)
+    heap.push(9, lambda: None)
+    victim.cancel()
+    assert heap.peek_time() == 9
+    assert len(heap) == 1
+    assert heap.pop().time == 9
+    assert len(heap) == 0
+
+
+def test_peek_time_all_cancelled_empties_heap():
+    heap = EventHeap()
+    events = [heap.push(t, lambda: None) for t in (3, 5, 7)]
+    for event in events:
+        event.cancel()
+    assert heap.peek_time() is None
+    assert len(heap) == 0
+    assert heap.pop() is None
+
+
 def test_negative_time_rejected():
     with pytest.raises(SchedulingError):
         EventHeap().push(-1, lambda: None)

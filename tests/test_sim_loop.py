@@ -107,6 +107,27 @@ def test_cancelled_event_does_not_fire():
     assert seen == []
 
 
+def test_run_until_idle_with_only_cancelled_events():
+    """Regression: a schedule-then-cancel must not leave phantom pending
+    events — run_until_idle used to raise "did not go idle" here."""
+    sim = Simulator()
+    event = sim.call_at(10, lambda: None)
+    event.cancel()
+    sim.run_until_idle()
+    assert sim.pending() == 0
+
+
+def test_run_until_idle_with_trailing_cancelled_event():
+    sim = Simulator()
+    fired = []
+    sim.call_at(5, lambda: fired.append("a"))
+    trailing = sim.call_at(20, lambda: fired.append("b"))
+    sim.call_at(6, trailing.cancel)
+    sim.run_until_idle()
+    assert fired == ["a"]
+    assert sim.pending() == 0
+
+
 def test_deterministic_interleaving():
     def run_once():
         sim = Simulator()
