@@ -1,0 +1,863 @@
+"""The pre-fast-path *machine* hot path, vendored for A/B benchmarking.
+
+:mod:`_legacy_core` swaps in the replaced simulator-core classes (event
+heap, event loop, trace log, metric store).  This PR also streamlined the
+machine code that rides the core on every event — the scheduler's syscall
+continuations, the executive-processor work queue, the bus delivery fan
+out, the per-step memory transaction — and an honest "events/sec vs. the
+pre-PR core" number has to include those paths as they were.  This module
+is a faithful copy of the replaced hot-path classes:
+
+* ``LegacyScheduler`` — double-closure syscall deferral (a ``later``
+  wrapper building a ``checked`` wrapper per syscall), f-string event
+  labels per scheduling decision;
+* ``LegacyWorkProcessor`` / ``LegacyExecutiveProcessor`` — property-
+  computed resource names, a dataclass per executive work item, a
+  closure per completion, f-string event labels per work item;
+* ``LegacyCluster`` / ``LegacyInterclusterBus`` — per-leg rescans of the
+  delivery tuple, per-send dispatch closures, unconditional construction
+  of trace-emit arguments;
+* ``LegacyMemoryTxn`` — ``resident_pages()`` set copy per write;
+* ``LegacyStepContext`` — plain dataclass (no ``__slots__``).
+
+Use :func:`legacy_engine` to swap the whole pre-PR engine (core classes
+included) into the construction path for the duration of a ``with``
+block.  Only construction is patched: machines built inside the block
+run on the legacy engine for their whole lifetime, machines built
+outside are untouched, and program/workload/kernel semantics are the
+shared current code either way — which is exactly what makes the A/B
+comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (Any, Callable, Deque, Dict, List, Optional, Set,
+                    TYPE_CHECKING)
+
+from contextlib import contextmanager
+
+from repro.config import CostModel, MachineConfig
+from repro.messages.message import Message
+from repro.messages.payloads import EOFMarker, OpenReply
+from repro.messages.routing import EntryStatus, PeerKind
+from repro.paging.addrspace import AddressSpace, Cell, PageFault
+from repro.programs.actions import (Alarm, Close, Compute, Exit, Fork,
+                                    GetPid, GetTime, Open, Poll, Read,
+                                    ReadAny, ReadClock, Write, Yield)
+from repro.kernel.pcb import BlockInfo, ProcState, ProcessControlBlock
+from repro.types import ClusterId, Pid, Ticks
+
+from _legacy_core import (LegacyMetricSet, LegacySimulator, LegacyTraceLog,
+                          legacy_core)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.kernel.kernel import ClusterKernel
+
+
+# -- paging / program-step scaffolding --------------------------------------
+
+
+class LegacyMemoryTxn:
+    """The replaced transaction: residency checked against a fresh set
+    copy on every write."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self._space = space
+        self._writes: Dict[int, Cell] = {}
+        self.pages_touched: Set[int] = set()
+
+    def get(self, name: str, index: int = 0) -> Cell:
+        address = self._space.address_of(name, index)
+        self.pages_touched.add(self._space.page_of(address))
+        if address in self._writes:
+            return self._writes[address]
+        return self._space.read_word(address)
+
+    def set(self, name: str, value: Cell, index: int = 0) -> None:
+        address = self._space.address_of(name, index)
+        self.pages_touched.add(self._space.page_of(address))
+        if self._space.page_of(address) not in self._space.resident_pages():
+            raise PageFault(self._space.page_of(address))
+        self._writes[address] = value
+
+    def add(self, name: str, delta: int, index: int = 0) -> Cell:
+        value = self.get(name, index) + delta
+        self.set(name, value, index=index)
+        return value
+
+    def commit(self) -> int:
+        for address, value in sorted(self._writes.items()):
+            self._space.write_word(address, value)
+        count = len(self._writes)
+        self._writes.clear()
+        return count
+
+
+@dataclass
+class LegacyStepContext:
+    """The replaced step context: a plain dataclass."""
+
+    pid: Pid
+    mem: LegacyMemoryTxn
+    regs: Dict[str, Any]
+
+    @property
+    def rv(self) -> Any:
+        return self.regs.get("rv")
+
+    def goto(self, state: str) -> None:
+        self.regs["pc"] = state
+
+
+# -- hardware ----------------------------------------------------------------
+
+
+@dataclass
+class LegacyWorkProcessor:
+    """The replaced work processor: resource name recomputed per access."""
+
+    cluster_id: ClusterId
+    index: int
+    current_pid: Optional[Pid] = None
+    busy_until: Ticks = 0
+
+    @property
+    def resource_name(self) -> str:
+        return f"work[c{self.cluster_id}.{self.index}]"
+
+    @property
+    def idle(self) -> bool:
+        return self.current_pid is None
+
+
+@dataclass
+class _LegacyExecWork:
+    cost: Ticks
+    action: Callable[[], None]
+    label: str
+
+
+class LegacyExecutiveProcessor:
+    """The replaced executive: dataclass work items, closure completions,
+    f-string labels per item."""
+
+    def __init__(self, cluster_id: ClusterId, sim: Any,
+                 metrics: Any) -> None:
+        self.cluster_id = cluster_id
+        self._sim = sim
+        self._metrics = metrics
+        self._queue: Deque[_LegacyExecWork] = deque()
+        self._busy = False
+        self._halted = False
+
+    @property
+    def resource_name(self) -> str:
+        return f"executive[c{self.cluster_id}]"
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, cost: Ticks, action: Callable[[], None],
+               label: str) -> None:
+        if self._halted:
+            return
+        self._queue.append(_LegacyExecWork(cost=cost, action=action,
+                                           label=label))
+        if not self._busy:
+            self._start_next()
+
+    def halt(self) -> None:
+        self._halted = True
+        self._queue.clear()
+
+    def _start_next(self) -> None:
+        if self._halted or not self._queue:
+            self._busy = False
+            return
+        work = self._queue.popleft()
+        self._busy = True
+        self._metrics.add_busy(self.resource_name, work.label, work.cost)
+
+        def complete() -> None:
+            if self._halted:
+                return
+            work.action()
+            self._start_next()
+
+        self._sim.call_after(work.cost, complete,
+                             label=f"exec[{self.cluster_id}]:{work.label}")
+
+
+class LegacyCluster:
+    """The replaced cluster: per-send dispatch closures, per-cluster
+    rescans of the delivery tuple, f-string labels per leg."""
+
+    def __init__(self, cluster_id: ClusterId, config: MachineConfig,
+                 sim: Any, bus: "LegacyInterclusterBus", metrics: Any,
+                 trace: Any) -> None:
+        self.cluster_id = cluster_id
+        self.config = config
+        self.sim = sim
+        self.bus = bus
+        self.metrics = metrics
+        self.trace = trace
+        self.alive = True
+        self.outgoing_enabled = True
+        self.executive = LegacyExecutiveProcessor(cluster_id, sim, metrics)
+        self.work_processors: List[LegacyWorkProcessor] = [
+            LegacyWorkProcessor(cluster_id=cluster_id, index=i)
+            for i in range(config.work_processors_per_cluster)
+        ]
+        self.kernel: Optional["ClusterKernel"] = None
+        self._outgoing: Deque[Message] = deque()
+        self._arrival_seqno = 0
+        bus.attach(self)
+
+    # -- outgoing path ------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        if not self.alive:
+            return
+        self._outgoing.append(message)
+        if self.outgoing_enabled:
+            self.executive.submit(
+                self.config.costs.exec_dispatch,
+                lambda: self.bus.request(self.cluster_id),
+                label="dispatch")
+
+    def pop_outgoing(self) -> Optional[Message]:
+        if not self._outgoing:
+            return None
+        return self._outgoing.popleft()
+
+    def has_outgoing(self) -> bool:
+        return bool(self._outgoing)
+
+    def outgoing_snapshot(self) -> List[Message]:
+        return list(self._outgoing)
+
+    def disable_outgoing(self) -> None:
+        self.outgoing_enabled = False
+
+    def enable_outgoing(self) -> None:
+        self.outgoing_enabled = True
+        if self._outgoing:
+            self.executive.submit(
+                self.config.costs.exec_dispatch,
+                lambda: self.bus.request(self.cluster_id),
+                label="dispatch")
+
+    def replace_outgoing(self, messages: List[Message]) -> None:
+        self._outgoing = deque(messages)
+
+    # -- incoming path ------------------------------------------------------
+
+    def next_arrival_seqno(self) -> int:
+        self._arrival_seqno += 1
+        return self._arrival_seqno
+
+    def ensure_seqno_at_least(self, floor: int) -> None:
+        if self._arrival_seqno < floor:
+            self._arrival_seqno = floor
+
+    def receive(self, message: Message,
+                legs: Optional[List] = None) -> None:
+        # ``legs`` accepted for call-site compatibility and ignored: the
+        # replaced code always rescanned the delivery tuple.
+        if not self.alive or self.kernel is None:
+            return
+        self._arrival_seqno += 1
+        seqno = self._arrival_seqno
+        kernel = self.kernel
+        costs = self.config.costs
+        for delivery in message.deliveries_for(self.cluster_id):
+            label = f"deliver_{delivery.role.value}"
+            cost = costs.exec_delivery
+            if delivery.role.value == "kernel":
+                cost = costs.exec_sync_apply
+                label = f"apply_{message.kind.value}"
+            self.executive.submit(
+                cost,
+                lambda m=message, d=delivery, s=seqno:
+                    kernel.handle_delivery(m, d, s),
+                label=label)
+
+    # -- failure ------------------------------------------------------------
+
+    def revive(self) -> None:
+        if self.alive:
+            return
+        self.alive = True
+        self.outgoing_enabled = True
+        self._outgoing.clear()
+        self.executive = LegacyExecutiveProcessor(self.cluster_id, self.sim,
+                                                  self.metrics)
+        for proc in self.work_processors:
+            proc.current_pid = None
+        self.kernel = None
+        self.metrics.incr("cluster.restores")
+        self.trace.emit(self.sim.now, "cluster.revive",
+                        cluster=self.cluster_id)
+
+    def crash(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        lost = len(self._outgoing)
+        self._outgoing.clear()
+        self.executive.halt()
+        self.bus.sender_crashed(self.cluster_id)
+        if self.kernel is not None:
+            self.kernel.halt()
+        self.metrics.incr("cluster.crashes")
+        self.metrics.incr("cluster.lost_outgoing", lost)
+        self.trace.emit(self.sim.now, "cluster.crash",
+                        cluster=self.cluster_id, lost_outgoing=lost)
+
+
+@dataclass
+class _LegacyTransmission:
+    src: ClusterId
+    message: Message
+
+
+class LegacyInterclusterBus:
+    """The replaced bus: trace-emit arguments built whether or not anyone
+    is listening, delivery targets rescanned per cluster."""
+
+    def __init__(self, sim: Any, costs: CostModel, metrics: Any,
+                 trace: Any) -> None:
+        self._sim = sim
+        self._costs = costs
+        self._metrics = metrics
+        self._trace = trace
+        self._clusters: Dict[ClusterId, LegacyCluster] = {}
+        self._requests: Deque[ClusterId] = deque()
+        self._requested: set = set()
+        self._current: Optional[_LegacyTransmission] = None
+
+    def attach(self, cluster: LegacyCluster) -> None:
+        self._clusters[cluster.cluster_id] = cluster
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    def request(self, cluster_id: ClusterId) -> None:
+        if cluster_id in self._requested:
+            return
+        self._requested.add(cluster_id)
+        self._requests.append(cluster_id)
+        if self._current is None:
+            self._grant_next()
+
+    def sender_crashed(self, cluster_id: ClusterId) -> None:
+        if self._current is not None and self._current.src == cluster_id:
+            self._trace.emit(self._sim.now, "bus.aborted",
+                             src=cluster_id,
+                             msg=self._current.message.describe())
+            self._metrics.incr("bus.aborted_transmissions")
+            self._current = None
+            self._grant_next()
+
+    def _grant_next(self) -> None:
+        if self._current is not None:
+            return
+        while self._requests:
+            cluster_id = self._requests.popleft()
+            self._requested.discard(cluster_id)
+            cluster = self._clusters[cluster_id]
+            if not cluster.alive or not cluster.outgoing_enabled:
+                continue
+            message = cluster.pop_outgoing()
+            if message is None:
+                continue
+            self._begin(cluster_id, message)
+            return
+
+    def _begin(self, src: ClusterId, message: Message) -> None:
+        transmission = _LegacyTransmission(src=src, message=message)
+        self._current = transmission
+        duration = (self._costs.bus_latency
+                    + message.size_bytes * self._costs.bus_ticks_per_byte)
+        self._metrics.incr("bus.transmissions")
+        self._metrics.incr("bus.bytes", message.size_bytes)
+        self._metrics.add_busy("bus", message.kind.value, duration)
+        self._trace.emit(self._sim.now, "bus.transmit", src=src,
+                         msg=message.describe(),
+                         targets=message.target_clusters())
+        self._sim.call_after(duration, lambda: self._complete(transmission),
+                             label="bus.complete")
+
+    def _complete(self, transmission: _LegacyTransmission) -> None:
+        if self._current is not transmission:
+            return
+        self._current = None
+        message = transmission.message
+        src_cluster = self._clusters[transmission.src]
+        if not src_cluster.alive:
+            self._trace.emit(self._sim.now, "bus.aborted",
+                             src=transmission.src, msg=message.describe())
+            self._metrics.incr("bus.aborted_transmissions")
+        else:
+            self._deliver_all(message)
+            if src_cluster.has_outgoing():
+                self.request(transmission.src)
+        self._grant_next()
+
+    def _deliver_all(self, message: Message) -> None:
+        for cluster_id in message.target_clusters():
+            cluster = self._clusters.get(cluster_id)
+            if cluster is None or not cluster.alive:
+                self._metrics.incr("bus.deliveries_to_dead")
+                continue
+            cluster.receive(message)
+            self._metrics.incr("bus.deliveries")
+
+
+# -- the scheduler -----------------------------------------------------------
+
+
+class LegacySchedulerError(Exception):
+    pass
+
+
+class LegacyScheduler:
+    """The replaced scheduler: double-closure syscall deferral, f-string
+    event labels on every scheduling decision, legacy txn/context."""
+
+    def __init__(self, kernel: "ClusterKernel") -> None:
+        self.kernel = kernel
+        self._ready_high: Deque[Pid] = deque()
+        self._ready_normal: Deque[Pid] = deque()
+
+    # -- queue management ---------------------------------------------------
+
+    def make_ready(self, pcb: ProcessControlBlock) -> None:
+        if pcb.state in (ProcState.RUNNING, ProcState.READY,
+                         ProcState.EXITED):
+            if pcb.state is ProcState.READY:
+                self.dispatch()
+            return
+        pcb.state = ProcState.READY
+        queue = self._ready_high if pcb.is_server else self._ready_normal
+        queue.append(pcb.pid)
+        self.dispatch()
+
+    def _pop_ready(self) -> Optional[ProcessControlBlock]:
+        for queue in (self._ready_high, self._ready_normal):
+            while queue:
+                pid = queue.popleft()
+                pcb = self.kernel.pcbs.get(pid)
+                if pcb is not None and pcb.state is ProcState.READY:
+                    return pcb
+        return None
+
+    def has_ready(self) -> bool:
+        return any(self.kernel.pcbs.get(pid) is not None
+                   and self.kernel.pcbs[pid].state is ProcState.READY
+                   for queue in (self._ready_high, self._ready_normal)
+                   for pid in queue)
+
+    def dispatch(self) -> None:
+        if not self.kernel.alive or self.kernel.crash_handling:
+            return
+        for proc in self.kernel.cluster.work_processors:
+            if not proc.idle:
+                continue
+            pcb = self._pop_ready()
+            if pcb is None:
+                return
+            self._assign(proc, pcb)
+
+    def _assign(self, proc, pcb: ProcessControlBlock) -> None:
+        pcb.state = ProcState.RUNNING
+        pcb.on_processor = proc.index
+        pcb.quantum_used = 0
+        proc.current_pid = pcb.pid
+        cost = self.kernel.config.costs.context_switch
+        self._charge(proc, pcb, cost, "context_switch")
+        self.kernel.sim.call_after(cost, lambda: self._step(proc, pcb),
+                                   label=f"sched.start:{pcb.pid}")
+
+    def _release(self, proc, pcb: Optional[ProcessControlBlock]) -> None:
+        proc.current_pid = None
+        if pcb is not None:
+            pcb.on_processor = None
+        self.dispatch()
+
+    def _charge(self, proc, pcb: ProcessControlBlock, cost: Ticks,
+                activity: str) -> None:
+        self.kernel.metrics.add_busy(proc.resource_name, activity, cost)
+        pcb.note_exec(cost)
+
+    def _gone(self, pcb: ProcessControlBlock) -> bool:
+        return (not self.kernel.alive
+                or self.kernel.pcbs.get(pcb.pid) is not pcb
+                or pcb.state is ProcState.EXITED)
+
+    # -- the step engine ----------------------------------------------------
+
+    def _step(self, proc, pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        if not kernel.alive:
+            return
+        if self._gone(pcb):
+            self._release(proc, pcb)
+            return
+
+        if pcb.block is not None and pcb.block.kind != "page":
+            if not self._resolve_block(proc, pcb):
+                return
+        elif pcb.block is not None:
+            pcb.block = None
+
+        if pcb.checkpoint_every is not None \
+                and pcb.backup_cluster is not None \
+                and pcb.ops_since_checkpoint >= pcb.checkpoint_every:
+            self._do_checkpoint(proc, pcb)
+            return
+
+        if (pcb.backup_cluster is not None or
+                pcb.full_sync_target is not None) and pcb.sync_due():
+            self._do_sync(proc, pcb)
+            return
+
+        signal = kernel.check_signals(pcb)
+        if signal is not None:
+            if pcb.backup_cluster is not None:
+                self._do_sync(proc, pcb, then_signal=True)
+                return
+            self._handle_signal(proc, pcb)
+            return
+
+        self._run_program_step(proc, pcb)
+
+    def _resolve_block(self, proc, pcb: ProcessControlBlock) -> bool:
+        kernel = self.kernel
+        block = pcb.block
+        assert block is not None
+        result = kernel.try_consume(pcb, block.fds)
+        if result is None:
+            pcb.state = (ProcState.BLOCKED_OPEN if block.kind == "open"
+                         else ProcState.BLOCKED_READ)
+            self._release(proc, pcb)
+            return False
+        fd, payload = result
+        if block.kind == "read_any":
+            pcb.regs["rv"] = (fd, payload)
+        elif block.kind == "open":
+            pcb.regs["rv"] = self._finish_open(pcb, payload)
+        else:
+            pcb.regs["rv"] = payload
+        pcb.block = None
+        return True
+
+    def _finish_open(self, pcb: ProcessControlBlock, payload: Any) -> Any:
+        if not isinstance(payload, OpenReply):
+            raise LegacySchedulerError(
+                f"pid {pcb.pid}: expected OpenReply, got {payload!r}")
+        if payload.error is not None:
+            return None
+        fd = pcb.alloc_fd(payload.channel_id)
+        entry = self.kernel.routing.get(payload.channel_id, pcb.pid)
+        if entry is not None:
+            entry.fd = fd
+        return fd
+
+    def _do_checkpoint(self, proc, pcb: ProcessControlBlock) -> None:
+        from repro.baselines.checkpointing import perform_checkpoint
+
+        stall = perform_checkpoint(self.kernel, pcb)
+        self._charge(proc, pcb, stall, "checkpoint_stall")
+
+        def resume() -> None:
+            if not self.kernel.alive:
+                return
+            if self._gone(pcb):
+                self._release(proc, pcb)
+                return
+            self._step(proc, pcb)
+
+        self.kernel.sim.call_after(stall, resume,
+                                   label=f"sched.checkpoint:{pcb.pid}")
+
+    def _do_sync(self, proc, pcb: ProcessControlBlock,
+                 then_signal: bool = False) -> None:
+        from repro.backup.sync import perform_sync
+
+        stall = perform_sync(self.kernel, pcb)
+        self._charge(proc, pcb, stall, "sync_stall")
+        pcb.exec_since_sync = 0
+
+        def resume() -> None:
+            if not self.kernel.alive:
+                return
+            if self._gone(pcb):
+                self._release(proc, pcb)
+                return
+            if then_signal:
+                self._handle_signal(proc, pcb)
+            else:
+                self._step(proc, pcb)
+
+        self.kernel.sim.call_after(stall, resume,
+                                   label=f"sched.sync:{pcb.pid}")
+
+    def _handle_signal(self, proc, pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        payload = kernel.peek_signal(pcb)
+        txn = LegacyMemoryTxn(pcb.space)
+        regs = dict(pcb.regs)
+        ctx = LegacyStepContext(pid=pcb.pid, mem=txn, regs=regs)
+        try:
+            pcb.program.on_signal(ctx, payload)
+        except PageFault as fault:
+            kernel.page_fault(pcb, fault.page_no)
+            self._release(proc, pcb)
+            return
+        kernel.consume_signal(pcb)
+        regs["_sig_seen"] = payload.seq
+        txn.commit()
+        pcb.regs = regs
+        cost = kernel.config.costs.syscall_overhead
+        self._charge(proc, pcb, cost, "signal")
+        kernel.sim.call_after(cost, lambda: self._continue(proc, pcb),
+                              label=f"sched.signal:{pcb.pid}")
+
+    def _run_program_step(self, proc, pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        txn = LegacyMemoryTxn(pcb.space)
+        regs = dict(pcb.regs)
+        ctx = LegacyStepContext(pid=pcb.pid, mem=txn, regs=regs)
+        try:
+            action = pcb.program.step(ctx)
+        except PageFault as fault:
+            kernel.page_fault(pcb, fault.page_no)
+            self._release(proc, pcb)
+            return
+        txn.commit()
+        pcb.regs = regs
+        pcb.total_steps += 1
+        pcb.ops_since_checkpoint += 1
+        self._perform_action(proc, pcb, action)
+
+    # -- action interpretation ----------------------------------------------
+
+    def _perform_action(self, proc, pcb: ProcessControlBlock,
+                        action: Any) -> None:
+        kernel = self.kernel
+        costs = kernel.config.costs
+
+        if isinstance(action, Compute):
+            self._charge(proc, pcb, action.cost, "user")
+            kernel.sim.call_after(action.cost,
+                                  lambda: self._continue(proc, pcb),
+                                  label=f"sched.compute:{pcb.pid}")
+            return
+
+        if isinstance(action, Exit):
+            kernel.exit_process(pcb, action.code)
+            self._release(proc, pcb)
+            return
+
+        overhead = costs.syscall_overhead
+        self._charge(proc, pcb, overhead, "syscall")
+
+        def later(fn) -> None:
+            def checked() -> None:
+                if not kernel.alive:
+                    return
+                if self._gone(pcb):
+                    self._release(proc, pcb)
+                    return
+                fn()
+            kernel.sim.call_after(overhead, checked,
+                                  label=f"sched.sys:{pcb.pid}")
+
+        if isinstance(action, Read):
+            later(lambda: self._begin_block(proc, pcb, "read",
+                                            (action.fd,)))
+        elif isinstance(action, ReadAny):
+            later(lambda: self._begin_block(proc, pcb, "read_any",
+                                            tuple(action.fds)))
+        elif isinstance(action, Write):
+            later(lambda: self._do_write(proc, pcb, action))
+        elif isinstance(action, Open):
+            later(lambda: self._do_open(proc, pcb, action))
+        elif isinstance(action, Close):
+            later(lambda: self._do_close(proc, pcb, action))
+        elif isinstance(action, Fork):
+            later(lambda: self._do_fork(proc, pcb, action))
+        elif isinstance(action, GetPid):
+            pcb.regs["rv"] = pcb.pid
+            later(lambda: self._continue(proc, pcb))
+        elif isinstance(action, GetTime):
+            later(lambda: self._do_gettime(proc, pcb))
+        elif isinstance(action, Alarm):
+            later(lambda: self._do_alarm(proc, pcb, action))
+        elif isinstance(action, ReadClock):
+            pcb.regs["rv"] = kernel.read_clock(pcb)
+            later(lambda: self._continue(proc, pcb))
+        elif isinstance(action, Poll):
+            pcb.regs["rv"] = kernel.poll_read(pcb, action.fd)
+            later(lambda: self._continue(proc, pcb))
+        elif isinstance(action, Yield):
+            pcb.regs["rv"] = True
+            later(lambda: self._requeue(proc, pcb))
+        else:
+            handler = kernel.action_handlers.get(type(action))
+            if handler is None:
+                raise LegacySchedulerError(
+                    f"pid {pcb.pid}: unknown action {action!r}")
+            cost, rv = handler(kernel, pcb, action)
+            pcb.regs["rv"] = rv
+            if cost:
+                self._charge(proc, pcb, cost, "privileged")
+            kernel.sim.call_after(overhead + cost,
+                                  lambda: self._continue(proc, pcb),
+                                  label=f"sched.priv:{pcb.pid}")
+
+    def _begin_block(self, proc, pcb: ProcessControlBlock, kind: str,
+                     fds: tuple) -> None:
+        pcb.block = BlockInfo(kind=kind, fds=fds)
+        if self._resolve_block(proc, pcb):
+            self._continue(proc, pcb)
+
+    def _do_write(self, proc, pcb: ProcessControlBlock,
+                  action: Write) -> None:
+        kernel = self.kernel
+        chan = pcb.channel_for_fd(action.fd)
+        if chan is None:
+            raise LegacySchedulerError(f"pid {pcb.pid}: write on bad fd "
+                                       f"{action.fd}")
+        entry = kernel.routing.require(chan, pcb.pid)
+        kernel.send_user_message(pcb, entry, action.payload,
+                                 size=action.size_bytes)
+        if action.await_reply:
+            self._begin_block(proc, pcb, "reply", (action.fd,))
+        else:
+            pcb.regs["rv"] = True
+            self._continue(proc, pcb)
+
+    def _do_open(self, proc, pcb: ProcessControlBlock,
+                 action: Open) -> None:
+        from repro.messages.payloads import OpenRequest
+        from repro.backup.modes import BackupMode
+
+        kernel = self.kernel
+        fs_fd = pcb.fs_channel_fd
+        chan = pcb.channel_for_fd(fs_fd)
+        entry = kernel.routing.require(chan, pcb.pid)
+        opener_seq = pcb.regs.get("_open_seq", 0) + 1
+        pcb.regs["_open_seq"] = opener_seq
+        request = OpenRequest(
+            name=action.name, opener_pid=pcb.pid,
+            opener_cluster=kernel.cluster_id,
+            opener_backup_cluster=pcb.backup_cluster,
+            reply_channel=chan,
+            opener_fullback=(pcb.backup_mode is BackupMode.FULLBACK),
+            opener_seq=opener_seq)
+        kernel.send_user_message(pcb, entry, request, size=64)
+        self._begin_block(proc, pcb, "open", (fs_fd,))
+
+    def _do_close(self, proc, pcb: ProcessControlBlock,
+                  action: Close) -> None:
+        kernel = self.kernel
+        chan = pcb.channel_for_fd(action.fd)
+        if chan is None:
+            raise LegacySchedulerError(f"pid {pcb.pid}: close on bad fd "
+                                       f"{action.fd}")
+        entry = kernel.routing.require(chan, pcb.pid)
+        if entry.peer_kind is PeerKind.USER and entry.peer_pid is not None \
+                and entry.status is EntryStatus.OPEN:
+            kernel.send_user_message(pcb, entry, EOFMarker(pcb.pid),
+                                     size=16)
+        entry.status = EntryStatus.CLOSED
+        pcb.closed_since_sync.append(chan)
+        del pcb.fds[action.fd]
+        pcb.regs["rv"] = True
+        self._continue(proc, pcb)
+
+    def _do_fork(self, proc, pcb: ProcessControlBlock,
+                 action: Fork) -> None:
+        child_pid = self.kernel.fork_child(pcb, action.child_program)
+        pcb.regs["rv"] = child_pid
+        self._continue(proc, pcb)
+
+    def _do_gettime(self, proc, pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        chan = pcb.channel_for_fd(pcb.ps_channel_fd)
+        entry = kernel.routing.require(chan, pcb.pid)
+        kernel.send_user_message(pcb, entry, ("time",), size=16)
+        self._begin_block(proc, pcb, "reply", (pcb.ps_channel_fd,))
+
+    def _do_alarm(self, proc, pcb: ProcessControlBlock,
+                  action: Alarm) -> None:
+        seq = pcb.regs.get("_alarm_seq", 0) + 1
+        pcb.regs["_alarm_seq"] = seq
+        self.kernel.schedule_alarm(pcb, seq, action.delay)
+        pcb.regs["rv"] = True
+        self._continue(proc, pcb)
+
+    # -- continuation / quantum ---------------------------------------------
+
+    def _continue(self, proc, pcb: ProcessControlBlock) -> None:
+        kernel = self.kernel
+        if not kernel.alive:
+            return
+        if self._gone(pcb) or pcb.state is not ProcState.RUNNING:
+            self._release(proc, pcb)
+            return
+        if kernel.crash_handling:
+            self._requeue(proc, pcb)
+            return
+        if pcb.quantum_used >= kernel.config.costs.quantum \
+                and self.has_ready():
+            self._requeue(proc, pcb)
+            return
+        self._step(proc, pcb)
+
+    def _requeue(self, proc, pcb: ProcessControlBlock) -> None:
+        pcb.state = ProcState.READY
+        queue = self._ready_high if pcb.is_server else self._ready_normal
+        queue.append(pcb.pid)
+        self._release(proc, pcb)
+
+
+# -- the swap ----------------------------------------------------------------
+
+
+@contextmanager
+def legacy_engine():
+    """Swap the full pre-PR engine into the machine construction path.
+
+    Composes :func:`_legacy_core.legacy_core` (simulator, trace log,
+    metric store) with the machine hot-path classes above.  Machines
+    *built* inside the block run on the legacy engine for their whole
+    lifetime; the swap only affects construction.
+    """
+    import repro.core.machine as machine_mod
+    import repro.kernel.kernel as kernel_mod
+    import repro.kernel.scheduler as scheduler_mod
+
+    with legacy_core():
+        saved_machine = (machine_mod.InterclusterBus, machine_mod.Cluster)
+        # ``ClusterKernel.__init__`` imports Scheduler from the scheduler
+        # module at construction time, so that module's attribute is the
+        # effective patch point.
+        saved_sched = scheduler_mod.Scheduler
+        saved_txn = kernel_mod.MemoryTxn
+        machine_mod.InterclusterBus = LegacyInterclusterBus
+        machine_mod.Cluster = LegacyCluster
+        scheduler_mod.Scheduler = LegacyScheduler
+        kernel_mod.MemoryTxn = LegacyMemoryTxn
+        try:
+            yield
+        finally:
+            (machine_mod.InterclusterBus, machine_mod.Cluster) = saved_machine
+            scheduler_mod.Scheduler = saved_sched
+            kernel_mod.MemoryTxn = saved_txn

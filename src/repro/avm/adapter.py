@@ -12,34 +12,66 @@ automatic:
   ``Compute``) or exactly one syscall instruction, so replayed execution
   is instruction-for-instruction identical.
 
+Dispatch is precompiled at construction: every instruction is bound to a
+small closure over its decoded operands once, and the per-step loop walks
+a handler table indexed by the VM program counter — no ``op in
+SYSCALL_OPS`` membership test and no if/elif decode chain per executed
+instruction.  Syscall slots hold ``None`` in the handler table, which
+doubles as the pure-run/syscall-boundary split.
+
 Terminal prints use a per-program print counter kept in a VM register
 slot, giving the device-level dedup keys recovery needs.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..programs.actions import (Action, Compute, Exit, GetTime, Open, Read,
                                 Write)
 from ..programs.program import Program, StepContext
 from .isa import AvmError, Instruction, SYSCALL_OPS
 
+#: A compiled pure instruction: ``handler(ctx, regs, vpc) -> next_vpc``.
+PureHandler = Callable[[StepContext, dict, int], int]
+
+#: Adaptive batching never grows a single Compute run past this many
+#: instructions (keeps individual compute slices interruptible).
+MAX_ADAPTIVE_BATCH = 512
+
 
 class AvmProcess(Program):
-    """A Program executing assembled AVM code."""
+    """A Program executing assembled AVM code.
+
+    ``adaptive_batch=True`` lets the pure-run batch size grow (doubling
+    up to :data:`MAX_ADAPTIVE_BATCH`) while the program stays inside
+    straight-line compute, resetting to ``max_batch`` at every syscall
+    boundary.  The current batch size lives in the ``_batch`` register —
+    part of the synced register file — so a backup replaying from its
+    last sync sees the identical batching sequence and reproduces the
+    primary's Compute slices exactly.  Off by default: it changes how
+    virtual time is sliced (still deterministically), so the A/B
+    trace-equality tests run with the fixed default.
+    """
 
     name = "avm"
 
     def __init__(self, code: List[Instruction], memory_words: int = 64,
                  cost_per_instruction: int = 10,
-                 max_batch: int = 32, name: Optional[str] = None) -> None:
+                 max_batch: int = 32, name: Optional[str] = None,
+                 adaptive_batch: bool = False) -> None:
         if not code:
             raise AvmError("cannot run an empty program")
         self._code = tuple(code)
         self._memory_words = memory_words
         self._cost = cost_per_instruction
         self._max_batch = max_batch
+        self._adaptive = adaptive_batch
+        #: vpc -> compiled pure handler, or None at syscall boundaries.
+        self._handlers = tuple(
+            None if instruction.op in SYSCALL_OPS
+            else self._compile_pure(instruction)
+            for instruction in self._code)
         if name is not None:
             self.name = name
 
@@ -55,94 +87,173 @@ class AvmProcess(Program):
         regs["sp"] = self._memory_words   # stack grows down from the top
         regs["_prints"] = 0
         regs["_phase"] = "run"
+        if self._adaptive:
+            regs["_batch"] = self._max_batch
 
     def step(self, ctx: StepContext) -> Action:
-        if ctx.regs["_phase"] == "retire":
+        regs = ctx.regs
+        if regs["_phase"] == "retire":
             # A syscall just completed: write back its result and advance.
             self._retire_syscall(ctx)
-            ctx.regs["_phase"] = "run"
+            regs["_phase"] = "run"
+        handlers = self._handlers
+        code_len = len(handlers)
+        batch = regs["_batch"] if self._adaptive else self._max_batch
         executed = 0
-        while executed < self._max_batch:
-            vpc = ctx.regs["vpc"]
-            if not 0 <= vpc < len(self._code):
-                raise AvmError(f"vpc {vpc} out of range")
-            instruction = self._code[vpc]
-            if instruction.op in SYSCALL_OPS:
-                if executed:
-                    # Charge the pure prefix first; the syscall issues on
-                    # the next step with vpc parked at it.
-                    return Compute(executed * self._cost)
-                return self._issue_syscall(ctx, instruction)
-            self._execute_pure(ctx, instruction)
-            executed += 1
+        vpc = regs["vpc"]
+        try:
+            while executed < batch:
+                if not 0 <= vpc < code_len:
+                    raise AvmError(f"vpc {vpc} out of range")
+                handler = handlers[vpc]
+                if handler is None:           # syscall boundary
+                    regs["vpc"] = vpc
+                    if self._adaptive:
+                        regs["_batch"] = self._max_batch
+                    if executed:
+                        # Charge the pure prefix first; the syscall issues
+                        # on the next step with vpc parked at it.
+                        return Compute(executed * self._cost)
+                    return self._issue_syscall(ctx, self._code[vpc])
+                vpc = handler(ctx, regs, vpc)
+                executed += 1
+        except BaseException:
+            # The register file must show the faulting instruction, as it
+            # did when vpc was written back per executed instruction.
+            regs["vpc"] = vpc
+            raise
+        regs["vpc"] = vpc
+        if self._adaptive and batch < MAX_ADAPTIVE_BATCH:
+            # A full batch of straight-line compute: widen the next run.
+            regs["_batch"] = min(batch * 2, MAX_ADAPTIVE_BATCH)
         return Compute(executed * self._cost)
 
     # -- pure instructions ---------------------------------------------------------
 
-    def _execute_pure(self, ctx: StepContext,
-                      instruction: Instruction) -> None:
-        regs = ctx.regs
+    def _compile_pure(self, instruction: Instruction) -> PureHandler:
+        """Bind one pure instruction to a closure over its operands."""
         op, args = instruction.op, instruction.args
-        next_vpc = regs["vpc"] + 1
+        words = self._memory_words
         if op == "MOVI":
-            regs[args[0]] = args[1]
+            dst, value = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = value
+                return vpc + 1
         elif op == "MOV":
-            regs[args[0]] = regs[args[1]]
+            dst, src = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = regs[src]
+                return vpc + 1
         elif op == "ADD":
-            regs[args[0]] = regs[args[1]] + regs[args[2]]
+            dst, lhs, rhs = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = regs[lhs] + regs[rhs]
+                return vpc + 1
         elif op == "SUB":
-            regs[args[0]] = regs[args[1]] - regs[args[2]]
+            dst, lhs, rhs = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = regs[lhs] - regs[rhs]
+                return vpc + 1
         elif op == "MUL":
-            regs[args[0]] = regs[args[1]] * regs[args[2]]
+            dst, lhs, rhs = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = regs[lhs] * regs[rhs]
+                return vpc + 1
         elif op == "ADDI":
-            regs[args[0]] = regs[args[1]] + args[2]
-        elif op == "LOAD":
-            regs[args[0]] = ctx.mem.get("M", index=regs[args[1]])
-        elif op == "STORE":
-            ctx.mem.set("M", regs[args[1]], index=regs[args[0]])
-        elif op == "JMP":
-            next_vpc = args[0]
-        elif op == "JZ":
-            if regs[args[0]] == 0:
-                next_vpc = args[1]
-        elif op == "JLT":
-            if regs[args[0]] < regs[args[1]]:
-                next_vpc = args[2]
-        elif op == "GETPID":
-            regs[args[0]] = ctx.pid
-        elif op == "JGT":
-            if regs[args[0]] > regs[args[1]]:
-                next_vpc = args[2]
+            dst, src, imm = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = regs[src] + imm
+                return vpc + 1
         elif op == "MULI":
-            regs[args[0]] = regs[args[1]] * args[2]
+            dst, src, imm = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = regs[src] * imm
+                return vpc + 1
+        elif op == "LOAD":
+            dst, addr = args
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = ctx.mem.get("M", index=regs[addr])
+                return vpc + 1
+        elif op == "STORE":
+            addr, src = args
+
+            def handler(ctx, regs, vpc):
+                ctx.mem.set("M", regs[src], index=regs[addr])
+                return vpc + 1
+        elif op == "JMP":
+            target = args[0]
+
+            def handler(ctx, regs, vpc):
+                return target
+        elif op == "JZ":
+            reg, target = args
+
+            def handler(ctx, regs, vpc):
+                return target if regs[reg] == 0 else vpc + 1
+        elif op == "JLT":
+            lhs, rhs, target = args
+
+            def handler(ctx, regs, vpc):
+                return target if regs[lhs] < regs[rhs] else vpc + 1
+        elif op == "JGT":
+            lhs, rhs, target = args
+
+            def handler(ctx, regs, vpc):
+                return target if regs[lhs] > regs[rhs] else vpc + 1
+        elif op == "GETPID":
+            dst = args[0]
+
+            def handler(ctx, regs, vpc):
+                regs[dst] = ctx.pid
+                return vpc + 1
         elif op == "PUSH":
-            sp = regs["sp"] - 1
-            if sp < 0:
-                raise AvmError("stack overflow")
-            ctx.mem.set("M", regs[args[0]], index=sp)
-            regs["sp"] = sp
+            src = args[0]
+
+            def handler(ctx, regs, vpc):
+                sp = regs["sp"] - 1
+                if sp < 0:
+                    raise AvmError("stack overflow")
+                ctx.mem.set("M", regs[src], index=sp)
+                regs["sp"] = sp
+                return vpc + 1
         elif op == "POP":
-            sp = regs["sp"]
-            if sp >= self._memory_words:
-                raise AvmError("stack underflow")
-            regs[args[0]] = ctx.mem.get("M", index=sp)
-            regs["sp"] = sp + 1
+            dst = args[0]
+
+            def handler(ctx, regs, vpc):
+                sp = regs["sp"]
+                if sp >= words:
+                    raise AvmError("stack underflow")
+                regs[dst] = ctx.mem.get("M", index=sp)
+                regs["sp"] = sp + 1
+                return vpc + 1
         elif op == "CALL":
-            sp = regs["sp"] - 1
-            if sp < 0:
-                raise AvmError("stack overflow")
-            ctx.mem.set("M", regs["vpc"] + 1, index=sp)
-            regs["sp"] = sp
-            next_vpc = args[0]
+            target = args[0]
+
+            def handler(ctx, regs, vpc):
+                sp = regs["sp"] - 1
+                if sp < 0:
+                    raise AvmError("stack overflow")
+                ctx.mem.set("M", vpc + 1, index=sp)
+                regs["sp"] = sp
+                return target
         elif op == "RET":
-            sp = regs["sp"]
-            if sp >= self._memory_words:
-                raise AvmError("stack underflow")
-            next_vpc = ctx.mem.get("M", index=sp)
-            regs["sp"] = sp + 1
+            def handler(ctx, regs, vpc):
+                sp = regs["sp"]
+                if sp >= words:
+                    raise AvmError("stack underflow")
+                regs["sp"] = sp + 1
+                return ctx.mem.get("M", index=sp)
         else:  # pragma: no cover - decoder guarantees coverage
             raise AvmError(f"unhandled pure op {op}")
-        regs["vpc"] = next_vpc
+        return handler
 
     # -- syscalls ----------------------------------------------------------------
 

@@ -1,0 +1,16 @@
+"""Wall-clock performance harness (``repro bench``)."""
+
+from .harness import (BenchError, BenchResult, WORKLOADS,
+                      compare_to_baseline, load_report, report_dict,
+                      run_suite, write_report)
+
+__all__ = [
+    "BenchError",
+    "BenchResult",
+    "WORKLOADS",
+    "compare_to_baseline",
+    "load_report",
+    "report_dict",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,246 @@
+"""Wall-clock throughput harness: events/sec as a tracked metric.
+
+The simulator is deterministic, so *what* a run computes never changes —
+but how fast the event loop turns over decides how large a fault-injection
+campaign or parameter sweep is practical.  This harness pins that down as
+a number: it runs a small set of canonical workloads, times them with
+``time.process_time()`` (immune to wall-clock noise from other processes),
+and reports events/sec, messages/sec and wall-clock seconds per workload.
+
+Methodology
+-----------
+
+* Each workload is built fresh for every round; only the event-loop run is
+  timed, so machine construction never pollutes the throughput number.
+* Each round is preceded by a ``gc.collect()`` and the *minimum* over
+  rounds is reported: the minimum of a CPU-time measurement converges on
+  the true cost, while means smear scheduler and allocator noise in.
+* Runs are deterministic, so every round executes the identical event
+  sequence — rounds differ only in measurement noise.
+
+``repro bench`` (the CLI front end) writes the report to
+``BENCH_core.json`` and can compare against a committed baseline, failing
+when events/sec regresses beyond a threshold; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..backup.modes import BackupMode
+from ..config import MachineConfig
+from ..core.machine import Machine
+from ..workloads import (MemoryChurnProgram, build_bank_workload,
+                         build_pipeline)
+
+
+class BenchError(Exception):
+    """Raised on malformed baseline files or unknown workload names."""
+
+
+@dataclass
+class BenchResult:
+    """Measured throughput for one workload."""
+
+    name: str
+    events: int               #: events executed per round (deterministic)
+    messages: Optional[int]   #: bus transmissions (None when untracked)
+    virtual_time: int         #: final virtual clock, ticks
+    wall_seconds: float       #: min CPU-seconds over rounds
+    rounds: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def messages_per_sec(self) -> Optional[float]:
+        if self.messages is None or not self.wall_seconds:
+            return None
+        return self.messages / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "events": self.events,
+            "messages": self.messages,
+            "virtual_time": self.virtual_time,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events_per_sec": round(self.events_per_sec),
+            "messages_per_sec": (round(self.messages_per_sec)
+                                 if self.messages_per_sec is not None
+                                 else None),
+            "rounds": self.rounds,
+        }
+
+
+# -- canonical workloads -----------------------------------------------------
+#
+# Each builder returns (machine, run_callable); the harness times only the
+# run_callable.  ``quick`` shrinks the workload for CI smoke runs.
+
+
+def _build_oltp(quick: bool) -> Tuple[Machine, Callable[[], None]]:
+    machine = Machine(MachineConfig(n_clusters=4, seed=7,
+                                    trace_enabled=False).validate())
+    build_bank_workload(machine, n_clients=4,
+                        txns_per_client=15 if quick else 60,
+                        accounts=24, seed=7)
+    return machine, lambda: machine.run_until_idle(max_events=30_000_000)
+
+
+def _build_pipeline(quick: bool) -> Tuple[Machine, Callable[[], None]]:
+    machine = Machine(MachineConfig(n_clusters=3, seed=7,
+                                    trace_enabled=False).validate())
+    build_pipeline(machine, stages=3, items=10 if quick else 40)
+    return machine, lambda: machine.run_until_idle(max_events=30_000_000)
+
+
+def _build_memory_churn(quick: bool) -> Tuple[Machine, Callable[[], None]]:
+    machine = Machine(MachineConfig(n_clusters=3, seed=7,
+                                    trace_enabled=False).validate())
+    for _ in range(2):
+        machine.spawn(MemoryChurnProgram(pages=4,
+                                         rounds=30 if quick else 80,
+                                         compute=2_000, total_pages=48),
+                      backup_mode=BackupMode.QUARTERBACK)
+    return machine, lambda: machine.run_until_idle(max_events=30_000_000)
+
+
+def _measure_machine(build: Callable[[bool], Tuple[Machine,
+                                                   Callable[[], None]]],
+                     name: str, quick: bool, rounds: int) -> BenchResult:
+    best: Optional[float] = None
+    machine: Optional[Machine] = None
+    for _ in range(rounds):
+        machine, run = build(quick)
+        gc.collect()
+        start = time.process_time()
+        run()
+        elapsed = time.process_time() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert machine is not None and best is not None
+    return BenchResult(
+        name=name,
+        events=machine.sim.events_executed,
+        messages=machine.metrics.counter("bus.transmissions"),
+        virtual_time=machine.sim.now,
+        wall_seconds=best,
+        rounds=rounds)
+
+
+def _measure_campaign(quick: bool, rounds: int) -> BenchResult:
+    from ..faults import run_campaign
+
+    seeds = range(3) if quick else range(10)
+    best: Optional[float] = None
+    report = None
+    for _ in range(rounds):
+        gc.collect()
+        start = time.process_time()
+        report = run_campaign(seeds, n_clusters=3)
+        elapsed = time.process_time() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert report is not None and best is not None
+    # The campaign builds and runs one machine per seed (plus failure-free
+    # baselines); per-seed results record faulted-run events, which is the
+    # throughput-relevant share.  Bus transmissions are not aggregated
+    # across seeds, so messages/sec is not reported here.
+    return BenchResult(
+        name="fault-campaign",
+        events=sum(result.events for result in report.results),
+        messages=None,
+        virtual_time=0,
+        wall_seconds=best,
+        rounds=rounds)
+
+
+#: name -> measurement callable(quick, rounds); ordered as reported.
+WORKLOADS: Dict[str, Callable[[bool, int], BenchResult]] = {
+    "oltp": lambda quick, rounds: _measure_machine(
+        _build_oltp, "oltp", quick, rounds),
+    "pipeline": lambda quick, rounds: _measure_machine(
+        _build_pipeline, "pipeline", quick, rounds),
+    "memory-churn": lambda quick, rounds: _measure_machine(
+        _build_memory_churn, "memory-churn", quick, rounds),
+    "fault-campaign": _measure_campaign,
+}
+
+
+def run_suite(quick: bool = False, rounds: Optional[int] = None,
+              workloads: Optional[List[str]] = None) -> List[BenchResult]:
+    """Measure every requested workload; defaults to all of them."""
+    names = list(WORKLOADS) if workloads is None else workloads
+    effective_rounds = rounds if rounds is not None else (2 if quick else 5)
+    results = []
+    for name in names:
+        measure = WORKLOADS.get(name)
+        if measure is None:
+            raise BenchError(f"unknown workload {name!r}; "
+                             f"choose from {sorted(WORKLOADS)}")
+        results.append(measure(quick, effective_rounds))
+    return results
+
+
+# -- reports and baselines ---------------------------------------------------
+
+
+def report_dict(results: List[BenchResult],
+                quick: bool = False) -> Dict[str, object]:
+    return {
+        "schema": "repro-bench/1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {result.name: result.as_dict() for result in results},
+    }
+
+
+def write_report(results: List[BenchResult], path: str,
+                 quick: bool = False) -> None:
+    with open(path, "w") as handle:
+        json.dump(report_dict(results, quick=quick), handle, indent=2)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "workloads" not in data:
+        raise BenchError(f"{path}: not a bench report (no 'workloads' key)")
+    return data
+
+
+def compare_to_baseline(results: List[BenchResult],
+                        baseline: Dict[str, object],
+                        threshold: float = 0.25
+                        ) -> List[Tuple[str, float, float, float]]:
+    """Return one (name, current, baseline, drop) tuple per workload whose
+    events/sec fell more than ``threshold`` below the baseline.
+
+    Workloads absent from the baseline are skipped: a baseline committed
+    before a new workload was added must not fail the comparison.
+    """
+    regressions = []
+    workloads = baseline["workloads"]
+    if not isinstance(workloads, dict):
+        raise BenchError("baseline 'workloads' must be a mapping")
+    for result in results:
+        entry = workloads.get(result.name)
+        if not entry:
+            continue
+        base_eps = float(entry["events_per_sec"])
+        if base_eps <= 0:
+            continue
+        drop = 1.0 - result.events_per_sec / base_eps
+        if drop > threshold:
+            regressions.append((result.name, result.events_per_sec,
+                                base_eps, drop))
+    return regressions

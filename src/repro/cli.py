@@ -11,6 +11,10 @@ Commands:
   crashes at schedule-driven and semantic trigger points, invariant
   checks after each, pass/fail + recovery-latency aggregation, optional
   JSON report (see ``docs/faults.md``).
+* ``bench``     — wall-clock throughput over the canonical workloads
+  (events/sec, messages/sec); writes ``BENCH_core.json`` and can fail
+  on regression against a committed baseline (see
+  ``docs/performance.md``).
 
 Every command accepts ``--clusters N`` and ``--seed S`` where meaningful.
 """
@@ -155,6 +159,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if failure is None and verified else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (compare_to_baseline, load_report, run_suite,
+                        write_report)
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    results = run_suite(quick=args.quick, rounds=args.rounds,
+                        workloads=workloads)
+    rows = []
+    for result in results:
+        mps = result.messages_per_sec
+        rows.append([
+            result.name, result.events, f"{result.wall_seconds:.4f}",
+            f"{result.events_per_sec:,.0f}",
+            f"{mps:,.0f}" if mps is not None else "-",
+        ])
+    print(format_table(
+        ["workload", "events", "wall (s)", "events/sec", "messages/sec"],
+        rows, title="Core throughput"
+              + (" (--quick)" if args.quick else "")))
+    if args.json:
+        write_report(results, args.json, quick=args.quick)
+        print(f"report written to {args.json}")
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        regressions = compare_to_baseline(results, baseline,
+                                          threshold=args.threshold)
+        if regressions:
+            for name, current, base, drop in regressions:
+                print(f"REGRESSION {name}: {current:,.0f} events/sec vs "
+                      f"baseline {base:,.0f} (-{drop * 100:.0f}%, "
+                      f"threshold {args.threshold * 100:.0f}%)")
+            return 1
+        print(f"no regression beyond {args.threshold * 100:.0f}% vs "
+              f"{args.baseline}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--clusters", type=int, default=3)
@@ -179,6 +220,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="re-run the first K seeds and check the "
                                "trace reproduces byte-for-byte")
     campaign.set_defaults(fn=cmd_campaign)
+    bench = sub.add_parser("bench")
+    bench.add_argument("--quick", action="store_true",
+                       help="shrink workloads and rounds for a CI smoke run")
+    bench.add_argument("--rounds", type=int, default=None,
+                       help="timing rounds per workload (min is reported)")
+    bench.add_argument("--workloads", type=str, default="",
+                       help="comma-separated subset (default: all)")
+    bench.add_argument("--json", type=str, default="BENCH_core.json",
+                       help="write the report here ('' to skip)")
+    bench.add_argument("--baseline", type=str, default="",
+                       help="compare events/sec against this report")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="allowed fractional events/sec drop vs baseline")
+    bench.set_defaults(fn=cmd_bench)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -56,7 +56,8 @@ class Machine:
                  topology: Optional[Topology] = None) -> None:
         self.config = (config if config is not None
                        else small_machine()).validate()
-        self.metrics = MetricSet()
+        self.metrics = MetricSet(
+            keep_series=self.config.metrics_raw_series)
         self.trace = TraceLog(enabled=self.config.trace_enabled)
         self.sim = Simulator(trace=self.trace)
         self.topology = (topology if topology is not None

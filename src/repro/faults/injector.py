@@ -119,14 +119,19 @@ class FaultInjector:
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self._armed: List[_Armed] = []
+        #: Trace categories we already subscribed for.  The injector
+        #: listens per category (the TraceLog's indexed dispatch), so a
+        #: trigger armed on ``sync.primary`` pays nothing for the flood
+        #: of ``bus.*`` records a run emits.
+        self._subscribed: set = set()
         #: Every fault delivered, in delivery order (campaign reports and
         #: the metrics-sanity invariant read this).
         self.injected: List[InjectionRecord] = []
-        machine.trace.subscribe(self._on_record)
 
     def detach(self) -> None:
         """Stop listening (armed but unfired triggers never fire)."""
         self.machine.trace.unsubscribe(self._on_record)
+        self._subscribed.clear()
 
     # ------------------------------------------------------------------
     # schedule-driven points
@@ -163,6 +168,10 @@ class FaultInjector:
         occurs.  The triggering record is passed to the action."""
         self._armed.append(_Armed(point=point, action=action,
                                   label=label or point.describe()))
+        if point.category not in self._subscribed:
+            self._subscribed.add(point.category)
+            self.machine.trace.subscribe(self._on_record,
+                                         categories=(point.category,))
 
     def crash_on(self, point: TracePoint,
                  cluster: Optional[ClusterId] = None,

@@ -118,9 +118,12 @@ class InterclusterBus:
         self._metrics.incr("bus.transmissions")
         self._metrics.incr("bus.bytes", message.size_bytes)
         self._metrics.add_busy("bus", message.kind.value, duration)
-        self._trace.emit(self._sim.now, "bus.transmit", src=src,
-                         msg=message.describe(),
-                         targets=message.target_clusters())
+        if self._trace.active:
+            # describe()/target_clusters() build strings and tuples; skip
+            # the work entirely when nothing is listening.
+            self._trace.emit(self._sim.now, "bus.transmit", src=src,
+                             msg=message.describe(),
+                             targets=message.target_clusters())
         self._sim.call_after(duration, lambda: self._complete(transmission),
                              label="bus.complete")
 
@@ -146,11 +149,20 @@ class InterclusterBus:
 
     def _deliver_all(self, message: Message) -> None:
         """Atomic delivery: every live addressed cluster receives the
-        message at this same event time."""
-        for cluster_id in message.target_clusters():
+        message at this same event time.
+
+        Legs are grouped by cluster in one pass here (insertion order, so
+        cluster order matches ``target_clusters()``) and handed to
+        :meth:`Cluster.receive`, which would otherwise rescan the
+        delivery tuple once per addressed cluster.
+        """
+        legs: Dict[ClusterId, list] = {}
+        for delivery in message.deliveries:
+            legs.setdefault(delivery.cluster_id, []).append(delivery)
+        for cluster_id, cluster_legs in legs.items():
             cluster = self._clusters.get(cluster_id)
             if cluster is None or not cluster.alive:
                 self._metrics.incr("bus.deliveries_to_dead")
                 continue
-            cluster.receive(message)
+            cluster.receive(message, cluster_legs)
             self._metrics.incr("bus.deliveries")

@@ -19,7 +19,7 @@ from collections import deque
 from typing import Deque, List, Optional, TYPE_CHECKING
 
 from ..config import MachineConfig
-from ..messages.message import Message
+from ..messages.message import DeliveryRole, Message
 from ..metrics import MetricSet
 from ..sim import Simulator, TraceLog
 from ..types import ClusterId
@@ -28,6 +28,10 @@ from .processor import ExecutiveProcessor, WorkProcessor
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from .bus import InterclusterBus
     from ..kernel.kernel import ClusterKernel
+
+#: Executive-activity label per delivery role, built once — ``receive``
+#: runs for every delivery leg of every transmission on the machine.
+_DELIVER_LABELS = {role: f"deliver_{role.value}" for role in DeliveryRole}
 
 
 class Cluster:
@@ -54,6 +58,10 @@ class Cluster:
         self.kernel: Optional["ClusterKernel"] = None
         self._outgoing: Deque[Message] = deque()
         self._arrival_seqno = 0
+        #: Built once: one dispatch work item is submitted per outgoing
+        #: message, and the closure allocation per send was measurable.
+        self._request_bus = lambda: bus.request(cluster_id)
+        self._dispatch_cost = config.costs.exec_dispatch
         bus.attach(self)
 
     # -- outgoing path ------------------------------------------------------
@@ -71,10 +79,8 @@ class Cluster:
             return
         self._outgoing.append(message)
         if self.outgoing_enabled:
-            self.executive.submit(
-                self.config.costs.exec_dispatch,
-                lambda: self.bus.request(self.cluster_id),
-                label="dispatch")
+            self.executive.submit(self._dispatch_cost, self._request_bus,
+                                  label="dispatch")
 
     def pop_outgoing(self) -> Optional[Message]:
         """Called by the bus when granting this cluster a transmission."""
@@ -97,10 +103,8 @@ class Cluster:
         """Re-enable transmissions after crash handling and re-arm the bus."""
         self.outgoing_enabled = True
         if self._outgoing:
-            self.executive.submit(
-                self.config.costs.exec_dispatch,
-                lambda: self.bus.request(self.cluster_id),
-                label="dispatch")
+            self.executive.submit(self._dispatch_cost, self._request_bus,
+                                  label="dispatch")
 
     def replace_outgoing(self, messages: List[Message]) -> None:
         """Swap the outgoing queue contents (crash handling rewrites
@@ -121,23 +125,31 @@ class Cluster:
         if self._arrival_seqno < floor:
             self._arrival_seqno = floor
 
-    def receive(self, message: Message) -> None:
+    def receive(self, message: Message,
+                legs: Optional[List] = None) -> None:
         """Bus delivery: stamp the cluster-local arrival sequence number and
-        queue executive work for each delivery leg addressed here."""
+        queue executive work for each delivery leg addressed here.
+
+        ``legs`` is the pre-grouped delivery list the bus hands over;
+        callers outside the bus path may omit it."""
         if not self.alive or self.kernel is None:
             return
+        if legs is None:
+            legs = list(message.deliveries_for(self.cluster_id))
         self._arrival_seqno += 1
         seqno = self._arrival_seqno
         kernel = self.kernel
         costs = self.config.costs
-        for delivery in message.deliveries_for(self.cluster_id):
-            label = f"deliver_{delivery.role.value}"
-            cost = costs.exec_delivery
-            if delivery.role.value == "kernel":
+        for delivery in legs:
+            role = delivery.role
+            if role is DeliveryRole.KERNEL:
                 # Sync application and backup maintenance are heavier
                 # executive work than a plain queue insert (8.2, 8.3).
                 cost = costs.exec_sync_apply
                 label = f"apply_{message.kind.value}"
+            else:
+                cost = costs.exec_delivery
+                label = _DELIVER_LABELS[role]
             self.executive.submit(
                 cost,
                 lambda m=message, d=delivery, s=seqno:

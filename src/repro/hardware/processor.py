@@ -32,20 +32,14 @@ class WorkProcessor:
     current_pid: Optional[Pid] = None
     busy_until: Ticks = 0
 
-    @property
-    def resource_name(self) -> str:
-        return f"work[c{self.cluster_id}.{self.index}]"
+    def __post_init__(self) -> None:
+        # Built once: the scheduler charges busy time against this name on
+        # every step, and an f-string per charge shows up in profiles.
+        self.resource_name = f"work[c{self.cluster_id}.{self.index}]"
 
     @property
     def idle(self) -> bool:
         return self.current_pid is None
-
-
-@dataclass
-class _ExecWork:
-    cost: Ticks
-    action: Callable[[], None]
-    label: str
 
 
 class ExecutiveProcessor:
@@ -60,15 +54,17 @@ class ExecutiveProcessor:
     def __init__(self, cluster_id: ClusterId, sim: Simulator,
                  metrics: MetricSet) -> None:
         self.cluster_id = cluster_id
+        self.resource_name = f"executive[c{cluster_id}]"
         self._sim = sim
         self._metrics = metrics
-        self._queue: Deque[_ExecWork] = deque()
+        #: (cost, action, label) tuples — the executive processes a few
+        #: work items per delivered message, so per-item allocation cost
+        #: matters; a tuple beats a dataclass instance here.
+        self._queue: Deque[tuple] = deque()
         self._busy = False
         self._halted = False
-
-    @property
-    def resource_name(self) -> str:
-        return f"executive[c{self.cluster_id}]"
+        self._current: Optional[Callable[[], None]] = None
+        self._event_label = f"exec[c{cluster_id}]"
 
     @property
     def queue_depth(self) -> int:
@@ -80,7 +76,7 @@ class ExecutiveProcessor:
         cluster has halted (crashed) — hardware does no work when down."""
         if self._halted:
             return
-        self._queue.append(_ExecWork(cost=cost, action=action, label=label))
+        self._queue.append((cost, action, label))
         if not self._busy:
             self._start_next()
 
@@ -92,17 +88,22 @@ class ExecutiveProcessor:
     def _start_next(self) -> None:
         if self._halted or not self._queue:
             self._busy = False
+            self._current = None
             return
-        work = self._queue.popleft()
+        cost, action, label = self._queue.popleft()
         self._busy = True
-        self._metrics.add_busy(self.resource_name, work.label, work.cost)
+        self._metrics.add_busy(self.resource_name, label, cost)
+        # The executive is strictly serial, so the in-flight action can
+        # live in an attribute and completion can be a bound method —
+        # avoids building a closure per work item on the hottest
+        # hardware path.
+        self._current = action
+        self._sim.call_after(cost, self._on_complete, label=self._event_label)
 
-        def complete() -> None:
-            # A crash may have landed between scheduling and completion.
-            if self._halted:
-                return
-            work.action()
-            self._start_next()
-
-        self._sim.call_after(work.cost, complete,
-                             label=f"exec[{self.cluster_id}]:{work.label}")
+    def _on_complete(self) -> None:
+        # A crash may have landed between scheduling and completion.
+        if self._halted:
+            return
+        action = self._current
+        action()
+        self._start_next()

@@ -42,6 +42,13 @@ class SchedulerError(Exception):
     """Raised when a program returns an unhandled action type."""
 
 
+#: Syscall actions whose handling is deferred whole to ``_finish_syscall``
+#: after the syscall-overhead delay (everything except Compute/Exit, the
+#: entry-time-valued GetPid/ReadClock/Poll, and custom privileged actions).
+_DEFERRED_SYSCALLS = (Read, Write, ReadAny, Open, Close, Fork, GetTime,
+                      Alarm, Yield)
+
+
 class Scheduler:
     """Per-cluster ready queue plus the action interpreter.
 
@@ -104,7 +111,7 @@ class Scheduler:
         cost = self.kernel.config.costs.context_switch
         self._charge(proc, pcb, cost, "context_switch")
         self.kernel.sim.call_after(cost, lambda: self._step(proc, pcb),
-                                   label=f"sched.start:{pcb.pid}")
+                                   label=pcb.label_start)
 
     def _release(self, proc: WorkProcessor,
                  pcb: Optional[ProcessControlBlock]) -> None:
@@ -241,8 +248,7 @@ class Scheduler:
             else:
                 self._step(proc, pcb)
 
-        self.kernel.sim.call_after(stall, resume,
-                                   label=f"sched.sync:{pcb.pid}")
+        self.kernel.sim.call_after(stall, resume, label=pcb.label_sync)
 
     def _handle_signal(self, proc: WorkProcessor,
                        pcb: ProcessControlBlock) -> None:
@@ -268,7 +274,7 @@ class Scheduler:
         cost = kernel.config.costs.syscall_overhead
         self._charge(proc, pcb, cost, "signal")
         kernel.sim.call_after(cost, lambda: self._continue(proc, pcb),
-                              label=f"sched.signal:{pcb.pid}")
+                              label=pcb.label_signal)
 
     def _run_program_step(self, proc: WorkProcessor,
                           pcb: ProcessControlBlock) -> None:
@@ -300,7 +306,7 @@ class Scheduler:
             self._charge(proc, pcb, action.cost, "user")
             kernel.sim.call_after(action.cost,
                                   lambda: self._continue(proc, pcb),
-                                  label=f"sched.compute:{pcb.pid}")
+                                  label=pcb.label_compute)
             return
 
         if isinstance(action, Exit):
@@ -312,59 +318,72 @@ class Scheduler:
         overhead = costs.syscall_overhead
         self._charge(proc, pcb, overhead, "syscall")
 
-        def later(fn) -> None:
-            def checked() -> None:
-                if not kernel.alive:
-                    return
-                if self._gone(pcb):
-                    self._release(proc, pcb)
-                    return
-                fn()
-            kernel.sim.call_after(overhead, checked,
-                                  label=f"sched.sys:{pcb.pid}")
-
-        if isinstance(action, Read):
-            later(lambda: self._begin_block(proc, pcb, "read",
-                                            (action.fd,)))
-        elif isinstance(action, ReadAny):
-            later(lambda: self._begin_block(proc, pcb, "read_any",
-                                            tuple(action.fds)))
-        elif isinstance(action, Write):
-            later(lambda: self._do_write(proc, pcb, action))
-        elif isinstance(action, Open):
-            later(lambda: self._do_open(proc, pcb, action))
-        elif isinstance(action, Close):
-            later(lambda: self._do_close(proc, pcb, action))
-        elif isinstance(action, Fork):
-            later(lambda: self._do_fork(proc, pcb, action))
-        elif isinstance(action, GetPid):
-            pcb.regs["rv"] = pcb.pid
-            later(lambda: self._continue(proc, pcb))
-        elif isinstance(action, GetTime):
-            later(lambda: self._do_gettime(proc, pcb))
-        elif isinstance(action, Alarm):
-            later(lambda: self._do_alarm(proc, pcb, action))
-        elif isinstance(action, ReadClock):
-            pcb.regs["rv"] = kernel.read_clock(pcb)
-            later(lambda: self._continue(proc, pcb))
-        elif isinstance(action, Poll):
-            pcb.regs["rv"] = kernel.poll_read(pcb, action.fd)
-            later(lambda: self._continue(proc, pcb))
-        elif isinstance(action, Yield):
-            pcb.regs["rv"] = True
-            later(lambda: self._requeue(proc, pcb))
-        else:
-            handler = kernel.action_handlers.get(type(action))
-            if handler is None:
-                raise SchedulerError(
-                    f"pid {pcb.pid}: unknown action {action!r}")
-            cost, rv = handler(kernel, pcb, action)
-            pcb.regs["rv"] = rv
-            if cost:
-                self._charge(proc, pcb, cost, "privileged")
-            kernel.sim.call_after(overhead + cost,
+        if isinstance(action, (GetPid, ReadClock, Poll)):
+            # The result is defined at syscall *entry* (read_clock records
+            # a nondeterministic-event value that must not shift by the
+            # overhead delay), so set rv now and schedule a bare continue
+            # — _continue re-checks liveness itself.
+            if isinstance(action, GetPid):
+                pcb.regs["rv"] = pcb.pid
+            elif isinstance(action, ReadClock):
+                pcb.regs["rv"] = kernel.read_clock(pcb)
+            else:
+                pcb.regs["rv"] = kernel.poll_read(pcb, action.fd)
+            kernel.sim.call_after(overhead,
                                   lambda: self._continue(proc, pcb),
-                                  label=f"sched.priv:{pcb.pid}")
+                                  label=pcb.label_sys)
+            return
+
+        if isinstance(action, _DEFERRED_SYSCALLS):
+            # One continuation closure per syscall; the liveness checks
+            # and the action-type dispatch both run after the overhead
+            # delay, inside _finish_syscall.
+            kernel.sim.call_after(
+                overhead,
+                lambda: self._finish_syscall(proc, pcb, action),
+                label=pcb.label_sys)
+            return
+
+        handler = kernel.action_handlers.get(type(action))
+        if handler is None:
+            raise SchedulerError(
+                f"pid {pcb.pid}: unknown action {action!r}")
+        cost, rv = handler(kernel, pcb, action)
+        pcb.regs["rv"] = rv
+        if cost:
+            self._charge(proc, pcb, cost, "privileged")
+        kernel.sim.call_after(overhead + cost,
+                              lambda: self._continue(proc, pcb),
+                              label=pcb.label_priv)
+
+    def _finish_syscall(self, proc: WorkProcessor,
+                        pcb: ProcessControlBlock, action: Any) -> None:
+        """The post-overhead half of a blocking/IO syscall."""
+        kernel = self.kernel
+        if not kernel.alive:
+            return
+        if self._gone(pcb):
+            self._release(proc, pcb)
+            return
+        if isinstance(action, Read):
+            self._begin_block(proc, pcb, "read", (action.fd,))
+        elif isinstance(action, Write):
+            self._do_write(proc, pcb, action)
+        elif isinstance(action, ReadAny):
+            self._begin_block(proc, pcb, "read_any", tuple(action.fds))
+        elif isinstance(action, Open):
+            self._do_open(proc, pcb, action)
+        elif isinstance(action, Close):
+            self._do_close(proc, pcb, action)
+        elif isinstance(action, Fork):
+            self._do_fork(proc, pcb, action)
+        elif isinstance(action, GetTime):
+            self._do_gettime(proc, pcb)
+        elif isinstance(action, Alarm):
+            self._do_alarm(proc, pcb, action)
+        else:  # Yield
+            pcb.regs["rv"] = True
+            self._requeue(proc, pcb)
 
     def _begin_block(self, proc: WorkProcessor, pcb: ProcessControlBlock,
                      kind: str, fds: tuple) -> None:

@@ -1,12 +1,13 @@
 """Instrumentation: counters, busy-time accounting, report tables."""
 
-from .counters import IntervalStats, MetricSet
+from .counters import IntervalStats, MetricSet, MetricsError
 from .machinereport import machine_report
 from .report import format_percent, format_ratio, format_table
 
 __all__ = [
     "IntervalStats",
     "MetricSet",
+    "MetricsError",
     "format_percent",
     "format_ratio",
     "format_table",

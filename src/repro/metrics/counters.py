@@ -4,6 +4,15 @@ The paper's evaluation (section 8) argues about *where* overhead lands:
 bus transmissions per message, executive-processor versus work-processor
 time, sync stall on the primary, recovery latency.  :class:`MetricSet`
 records exactly those quantities so the benchmark harness can print them.
+
+Sample series are aggregated *streaming*: :meth:`MetricSet.record` folds
+each value into a running ``(count, total, min, max)`` so
+:meth:`MetricSet.stats` is O(1) and a long campaign run holds four
+integers per series instead of an unbounded list.  Raw-series retention
+(everything :meth:`MetricSet.series` returns) is controlled by
+``keep_series``: on by default so reports and tests can read the exact
+sample lists, switched off by the wall-clock benchmark harness where the
+per-sample appends and the memory they pin are pure overhead.
 """
 
 from __future__ import annotations
@@ -11,6 +20,10 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+
+class MetricsError(Exception):
+    """Raised on invalid metric access (e.g. raw series not retained)."""
 
 
 @dataclass
@@ -39,11 +52,19 @@ class MetricSet:
     * **busy time** — total ticks a named resource spent occupied, split by
       activity (``executive[c0].deliver_backup``, ``work[c1].user``), the
       paper's work-versus-executive accounting.
+
+    ``keep_series=False`` drops raw sample retention (streaming running
+    stats only); :meth:`stats` and :meth:`snapshot` are identical in both
+    modes (``tests/test_metrics_streaming.py`` checks this on real
+    workloads), only :meth:`series` requires retention.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, keep_series: bool = True) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
-        self._samples: Dict[str, List[int]] = defaultdict(list)
+        #: name -> [count, total, minimum, maximum], updated per record().
+        self._running: Dict[str, List[int]] = {}
+        self._series: Dict[str, List[int]] = defaultdict(list)
+        self._keep_series = keep_series
         self._busy: Dict[Tuple[str, str], int] = defaultdict(int)
 
     # -- counters ---------------------------------------------------------
@@ -64,20 +85,44 @@ class MetricSet:
     # -- samples ----------------------------------------------------------
 
     def record(self, name: str, value: int) -> None:
-        """Append one sample to series ``name``."""
-        self._samples[name].append(value)
+        """Fold one sample into series ``name``'s running stats (and the
+        retained raw series when ``keep_series`` is on)."""
+        running = self._running.get(name)
+        if running is None:
+            self._running[name] = [1, value, value, value]
+        else:
+            running[0] += 1
+            running[1] += value
+            if value < running[2]:
+                running[2] = value
+            elif value > running[3]:
+                running[3] = value
+        if self._keep_series:
+            self._series[name].append(value)
 
     def series(self, name: str) -> List[int]:
-        """Raw samples recorded under ``name`` (empty list if none)."""
-        return list(self._samples.get(name, []))
+        """Raw samples recorded under ``name`` (empty list if none).
+
+        Raises :class:`MetricsError` if samples were recorded but raw
+        retention is off — the streaming stats are still available via
+        :meth:`stats`.
+        """
+        if not self._keep_series and name in self._running:
+            raise MetricsError(
+                f"raw series {name!r} not retained (keep_series=False); "
+                f"use stats() for the streaming aggregate")
+        return list(self._series.get(name, []))
 
     def stats(self, name: str) -> Optional[IntervalStats]:
-        """Aggregate statistics for series ``name``, or ``None`` if empty."""
-        samples = self._samples.get(name)
-        if not samples:
+        """Aggregate statistics for series ``name``, or ``None`` if empty.
+
+        O(1): read from the running aggregate, never from the raw list.
+        """
+        running = self._running.get(name)
+        if running is None:
             return None
-        return IntervalStats(count=len(samples), total=sum(samples),
-                             minimum=min(samples), maximum=max(samples))
+        return IntervalStats(count=running[0], total=running[1],
+                             minimum=running[2], maximum=running[3])
 
     # -- busy time --------------------------------------------------------
 
@@ -107,7 +152,7 @@ class MetricSet:
         """A plain-dict snapshot (counters, sample stats, busy totals)."""
         return {
             "counters": dict(self._counters),
-            "samples": {name: self.stats(name) for name in self._samples},
+            "samples": {name: self.stats(name) for name in self._running},
             "busy": {f"{res}:{act}": ticks
                      for (res, act), ticks in self._busy.items()},
         }

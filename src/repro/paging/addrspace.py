@@ -187,6 +187,8 @@ class MemoryTxn:
     makes step re-execution safe.
     """
 
+    __slots__ = ("_space", "_writes", "pages_touched")
+
     def __init__(self, space: AddressSpace) -> None:
         self._space = space
         self._writes: Dict[int, Cell] = {}
@@ -197,18 +199,23 @@ class MemoryTxn:
     # Named-variable API used by programs ------------------------------------
 
     def get(self, name: str, index: int = 0) -> Cell:
-        address = self._space.address_of(name, index)
-        self.pages_touched.add(self._space.page_of(address))
+        space = self._space
+        address = space.address_of(name, index)
+        self.pages_touched.add(address // space.words_per_page)
         if address in self._writes:
             return self._writes[address]
-        return self._space.read_word(address)
+        return space.read_word(address)
 
     def set(self, name: str, value: Cell, index: int = 0) -> None:
-        address = self._space.address_of(name, index)
-        # Fault now if the page is absent: the write itself needs the page.
-        self.pages_touched.add(self._space.page_of(address))
-        if self._space.page_of(address) not in self._space.resident_pages():
-            raise PageFault(self._space.page_of(address))
+        space = self._space
+        address = space.address_of(name, index)
+        page_no = address // space.words_per_page
+        self.pages_touched.add(page_no)
+        # Fault now if the page is absent: the write itself needs the page
+        # (membership-tested against the live set — copying it per write
+        # made every STORE O(resident pages)).
+        if page_no not in space._resident:
+            raise PageFault(page_no)
         self._writes[address] = value
 
     def add(self, name: str, delta: int, index: int = 0) -> Cell:

@@ -23,7 +23,6 @@ free and the step re-runs once the page is resident.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict
 
 from ..paging import AddressSpace, MemoryTxn
@@ -35,7 +34,6 @@ class ProgramError(Exception):
     """Raised when a program violates the model (bad state name, etc.)."""
 
 
-@dataclass
 class StepContext:
     """What a program sees during one step.
 
@@ -43,11 +41,18 @@ class StepContext:
     the step.  ``rv`` (property) is the result of the previous action.
     Deliberately absent: wall-clock time, cluster id, scheduling facts —
     everything section 7.5 calls "environmental" and hides from processes.
+
+    A plain ``__slots__`` class: one is allocated for every program step
+    the machine executes.
     """
 
-    pid: Pid
-    mem: MemoryTxn
-    regs: Dict[str, Any]
+    __slots__ = ("pid", "mem", "regs")
+
+    def __init__(self, pid: Pid, mem: MemoryTxn,
+                 regs: Dict[str, Any]) -> None:
+        self.pid = pid
+        self.mem = mem
+        self.regs = regs
 
     @property
     def rv(self) -> Any:

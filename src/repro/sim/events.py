@@ -14,13 +14,20 @@ behave identically).  Two design rules enforce it here:
   identity or hash order.
 * Virtual time is an integer number of *ticks* (we interpret one tick as a
   microsecond throughout), so there is no floating-point drift.
+
+Performance: the heap stores plain ``(time, priority, seq, event)`` tuples
+so every sift comparison is a C-level tuple compare — ``seq`` is unique,
+so two entries never tie and the :class:`Event` objects themselves are
+never compared during heap maintenance.  ``Event`` uses ``__slots__`` and
+a hand-written ``__init__``; at millions of events per run the dataclass
+machinery it replaced was a measurable fraction of total wall-clock
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
@@ -31,32 +38,73 @@ class SchedulingError(SimulationError):
     """Raised for invalid scheduling requests (negative delay, dead event)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)``; the callback itself is
+    Events order by ``(time, priority, seq)``; the callback itself is
     excluded from comparison.  Lower ``priority`` fires first among events
     scheduled for the same tick.
     """
 
-    time: int
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int,
+                 action: Callable[[], None], label: str = "",
+                 cancelled: bool = False) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the event loop skips it when popped."""
         self.cancelled = True
 
+    # Events rarely meet a comparison in the fast path (the heap compares
+    # key tuples), but the ordering contract remains part of the API.
+
+    def _key(self) -> Tuple[int, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(t={self.time}, prio={self.priority}, "
+                f"seq={self.seq}, label={self.label!r}{state})")
+
+
+#: One heap entry: the comparison key inline, the event payload last.
+_Entry = Tuple[int, int, int, Event]
+
 
 class EventHeap:
     """A deterministic min-heap of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self._live = 0
 
@@ -68,11 +116,11 @@ class EventHeap:
         """Schedule ``action`` at absolute virtual ``time`` and return the event."""
         if time < 0:
             raise SchedulingError(f"event time must be >= 0, got {time}")
-        event = Event(time=time, priority=priority, seq=self._seq,
-                      action=action, label=label)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        event = Event(time, priority, seq, action, label)
+        heappush(self._heap, (time, priority, seq, event))
         return event
 
     def pop(self) -> Optional[Event]:
@@ -81,12 +129,37 @@ class EventHeap:
         Cancelled events are discarded lazily here rather than eagerly
         removed from the heap, keeping :meth:`Event.cancel` O(1).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
             self._live -= 1
             if event.cancelled:
                 continue
             return event
+        return None
+
+    def pop_next(self, until: Optional[int] = None) -> Optional[Event]:
+        """Remove and return the next live event at ``time <= until``.
+
+        The combined peek-and-pop the event loop runs: one lazy-discard
+        pass serves both the bound check and the pop, where the old
+        ``peek_time()``-then-``pop()`` pairing scanned cancelled heads
+        twice per iteration.  An event beyond ``until`` stays in the heap
+        and ``None`` is returned.  Discarded cancelled events decrement
+        the live count exactly as :meth:`pop` does.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3].cancelled:
+                heappop(heap)
+                self._live -= 1
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return head[3]
         return None
 
     def peek_time(self) -> Optional[int]:
@@ -98,9 +171,10 @@ class EventHeap:
         like ``Simulator.run_until_idle`` see a non-zero ``pending()``
         with nothing left to run.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
             self._live -= 1
-        if not self._heap:
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]

@@ -10,12 +10,23 @@ trace serves three purposes:
   message" in experiment E2);
 * the equivalence experiment E8 — comparing externally visible event
   subsequences between failure-free and crashed-and-recovered runs.
+
+Emit points sit on the hottest paths in the simulator, so the quiet case
+must cost almost nothing: :attr:`TraceLog.active` is a precomputed
+"anyone listening?" flag (recording enabled or at least one listener) and
+:meth:`TraceLog.emit` returns immediately when it is false, before
+building any record.  Listeners subscribe either to every record or to an
+explicit set of categories; category subscriptions are dispatched through
+a per-category index, so a fault-injection trigger armed on
+``sync.primary`` never pays for the flood of ``bus.*`` records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+Listener = Callable[["TraceRecord"], None]
 
 
 @dataclass(frozen=True)
@@ -42,10 +53,35 @@ class TraceLog:
 
     def __init__(self, enabled: bool = True,
                  categories: Optional[List[str]] = None) -> None:
-        self.enabled = enabled
+        self._enabled = enabled
         self._only = set(categories) if categories is not None else None
         self._records: List[TraceRecord] = []
-        self._listeners: List[Callable[[TraceRecord], None]] = []
+        self._listeners: List[Listener] = []
+        self._by_category: Dict[str, List[Listener]] = {}
+        #: True when :meth:`emit` has any work to do (recording on, or at
+        #: least one listener).  Hot call sites may read this to skip
+        #: building expensive detail values; ``emit`` checks it first
+        #: regardless.  Maintained internally — do not assign to it.
+        self.active = enabled
+        #: Dispatch depth: >0 while listener callbacks run, so listener
+        #: (un)subscriptions from inside a callback can be deferred
+        #: instead of copying the listener list on every emit.
+        self._dispatching = 0
+        self._deferred: List = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are stored (listeners fire regardless)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        self.active = bool(self._enabled or self._listeners
+                           or self._by_category)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -53,9 +89,15 @@ class TraceLog:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
-    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
-        """Register a callback invoked synchronously for *every* emitted
-        record, regardless of the ``enabled`` flag or category filter.
+    def subscribe(self, listener: Listener,
+                  categories: Optional[Sequence[str]] = None) -> None:
+        """Register a callback invoked synchronously for emitted records,
+        regardless of the ``enabled`` flag or storage category filter.
+
+        With ``categories=None`` the listener observes *every* record.
+        With an explicit category list it observes only those categories,
+        via a per-category index — the cheap option for triggers that
+        care about one transition kind on a machine emitting thousands.
 
         This is the hook semantic fault-injection triggers attach to
         (:mod:`repro.faults`): emit points mark the interesting
@@ -64,13 +106,36 @@ class TraceLog:
         the components knowing about fault injection.  Listeners must be
         deterministic; anything they schedule goes through the simulator
         and keeps the run reproducible.
-        """
-        self._listeners.append(listener)
 
-    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
-        """Remove a previously subscribed listener (no-op if absent)."""
+        Subscribing from inside a listener callback takes effect after
+        the current record finishes dispatching.
+        """
+        if self._dispatching:
+            self._deferred.append((self.subscribe, listener, categories))
+            return
+        if categories is None:
+            self._listeners.append(listener)
+        else:
+            for category in categories:
+                self._by_category.setdefault(category, []).append(listener)
+        self._refresh_active()
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove a previously subscribed listener from the wildcard list
+        and every category index (no-op if absent).  Unsubscribing from
+        inside a listener callback takes effect after the current record
+        finishes dispatching (the in-flight dispatch still completes)."""
+        if self._dispatching:
+            self._deferred.append((self.unsubscribe, listener, None))
+            return
         if listener in self._listeners:
             self._listeners.remove(listener)
+        for category, listeners in list(self._by_category.items()):
+            if listener in listeners:
+                listeners.remove(listener)
+            if not listeners:
+                del self._by_category[category]
+        self._refresh_active()
 
     def emit(self, time: int, category: str, **detail: Any) -> None:
         """Append one record (no-op when disabled or filtered out).
@@ -78,13 +143,31 @@ class TraceLog:
         Subscribed listeners observe the record even when recording is
         disabled or the category is filtered out of storage.
         """
-        if not self.enabled and not self._listeners:
+        if not self.active:
             return
         record = TraceRecord(time=time, category=category, detail=detail)
-        if self.enabled and (self._only is None or category in self._only):
+        if self._enabled and (self._only is None or category in self._only):
             self._records.append(record)
-        for listener in list(self._listeners):
-            listener(record)
+        listeners = self._listeners
+        scoped = self._by_category.get(category)
+        if not listeners and not scoped:
+            return
+        self._dispatching += 1
+        try:
+            for listener in listeners:
+                listener(record)
+            if scoped:
+                for listener in scoped:
+                    listener(record)
+        finally:
+            self._dispatching -= 1
+            if self._deferred and not self._dispatching:
+                deferred, self._deferred = self._deferred, []
+                for method, listener, categories in deferred:
+                    if method is self.subscribe:
+                        method(listener, categories)
+                    else:
+                        method(listener)
 
     def select(self, category: Optional[str] = None,
                where: Optional[Callable[[TraceRecord], bool]] = None

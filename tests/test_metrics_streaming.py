@@ -1,0 +1,108 @@
+"""Streaming vs. raw-retention MetricSet equivalence on real workloads.
+
+``MetricSet`` aggregates sample series into running ``(count, total,
+min, max)`` stats so the benchmark harness can switch raw retention off
+(``metrics_raw_series=False``).  That switch must be *observationally
+free*: ``stats()`` and ``snapshot()`` on a streaming-only machine must
+equal those of an identical run retaining every raw sample, and the
+streaming aggregate must equal what recomputing from the raw series
+gives.  Checked on the workloads the E1–E3 experiments drive (sync-heavy
+writer, message-heavy ping-pong, churn with checkpointing stalls), which
+between them populate every sample series the machine records
+(``sync.stall_ticks``, ``checkpoint.stall_ticks``,
+``recovery.crash_handle_latency``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BackupMode, Machine, MachineConfig
+from repro.metrics import IntervalStats, MetricSet, MetricsError
+from repro.workloads import (MemoryChurnProgram, PingProgram, PongProgram,
+                             TtyWriterProgram, build_bank_workload)
+
+
+def build_machine(raw: bool) -> Machine:
+    return Machine(MachineConfig(n_clusters=3, seed=11, trace_enabled=False,
+                                 metrics_raw_series=raw).validate())
+
+
+def populate(machine: Machine, workload: str) -> None:
+    if workload == "e1-overhead":
+        # E1's shape: steady writers under backup sync plus a
+        # checkpointing baseline process (exercises both stall series).
+        machine.spawn(TtyWriterProgram(lines=10, tag="w", compute=2_000),
+                      cluster=2, sync_reads_threshold=3)
+        machine.spawn(MemoryChurnProgram(pages=4, rounds=10, compute=1_000,
+                                         total_pages=48),
+                      backup_mode=BackupMode.QUARTERBACK,
+                      checkpoint_every=4)
+    elif workload == "e2-messages":
+        # E2's shape: message-dense request/reply traffic.
+        machine.spawn(PingProgram(rounds=12, compute=400), cluster=2,
+                      sync_reads_threshold=4)
+        machine.spawn(PongProgram(rounds=12), cluster=1,
+                      sync_reads_threshold=4)
+    else:
+        # E3's shape: sync cost under transaction load, plus a crash so
+        # recovery.crash_handle_latency records samples.
+        build_bank_workload(machine, n_clients=2, txns_per_client=6,
+                            accounts=8, seed=11)
+        machine.crash_cluster(2, at=10_000)
+
+
+WORKLOADS = ("e1-overhead", "e2-messages", "e3-sync-crash")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_streaming_stats_match_raw_mode(workload: str) -> None:
+    raw_machine = build_machine(raw=True)
+    populate(raw_machine, workload)
+    raw_machine.run_until_idle(max_events=10_000_000)
+
+    streaming_machine = build_machine(raw=False)
+    populate(streaming_machine, workload)
+    streaming_machine.run_until_idle(max_events=10_000_000)
+
+    raw_metrics = raw_machine.metrics
+    streaming = streaming_machine.metrics
+
+    # Identical runs: the virtual outcome must match before comparing
+    # metrics, otherwise a divergence would masquerade as a metrics bug.
+    assert raw_machine.sim.now == streaming_machine.sim.now
+    assert (raw_machine.sim.events_executed
+            == streaming_machine.sim.events_executed)
+
+    raw_snapshot = raw_metrics.snapshot()
+    streaming_snapshot = streaming.snapshot()
+    assert raw_snapshot == streaming_snapshot
+    sample_names = raw_snapshot["samples"].keys()
+    assert sample_names, f"workload {workload} recorded no sample series"
+
+    for name in sample_names:
+        raw_stats = raw_metrics.stats(name)
+        assert streaming.stats(name) == raw_stats
+        # The streaming aggregate must equal a recomputation from the
+        # raw samples the other machine retained.
+        samples = raw_metrics.series(name)
+        assert raw_stats == IntervalStats(
+            count=len(samples), total=sum(samples),
+            minimum=min(samples), maximum=max(samples))
+        # Raw access in streaming mode is a loud error, not silent data.
+        with pytest.raises(MetricsError):
+            streaming.series(name)
+
+
+def test_series_access_rules() -> None:
+    streaming = MetricSet(keep_series=False)
+    assert streaming.series("never.recorded") == []  # empty, not an error
+    streaming.record("x", 3)
+    with pytest.raises(MetricsError):
+        streaming.series("x")
+    retained = MetricSet(keep_series=True)
+    retained.record("x", 3)
+    retained.record("x", 5)
+    assert retained.series("x") == [3, 5]
+    assert retained.stats("x") == IntervalStats(count=2, total=8,
+                                                minimum=3, maximum=5)

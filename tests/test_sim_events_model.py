@@ -1,0 +1,148 @@
+"""Randomized model test: EventHeap vs. a naive sorted-list reference.
+
+The fast-path heap (tuple keys, lazy cancellation, the combined
+``pop_next`` scan) must behave exactly like the obviously correct
+structure it optimizes: a list of events kept sorted by
+``(time, priority, seq)`` with cancelled entries skipped on pop.  A
+seeded random schedule of pushes, cancels, pops, bounded pops and peeks
+is driven through both; any divergence in returned events, reported
+sizes or peeked times fails.
+
+This guards the two historical bug classes in this structure: phantom
+live-counts from lazy cancellation (PR-1) and double-discard drift
+between ``peek_time`` and ``pop``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.sim.events import Event, EventHeap, SchedulingError
+
+
+class ReferenceHeap:
+    """The trivially correct model: a sorted list, linear everything.
+
+    Mirrors the heap's *lazy* cancellation contract: cancelled events
+    stay counted until a pop/peek scan reaches them at the front, which
+    is exactly when the real heap discards them (keys are unique, so the
+    heap's pop order equals this list's sorted order)."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def push(self, time: int, priority: int = 0, label: str = "") -> Event:
+        event = Event(time, priority, self._seq, action=lambda: None,
+                      label=label)
+        self._seq += 1
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.time, e.priority, e.seq))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        while self._events:
+            event = self._events.pop(0)
+            if not event.cancelled:
+                return event
+        return None
+
+    def pop_next(self, until: Optional[int] = None) -> Optional[Event]:
+        while self._events:
+            event = self._events[0]
+            if event.cancelled:
+                self._events.pop(0)
+                continue
+            if until is not None and event.time > until:
+                return None
+            return self._events.pop(0)
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        while self._events and self._events[0].cancelled:
+            self._events.pop(0)
+        if not self._events:
+            return None
+        return self._events[0].time
+
+
+def key(event: Optional[Event]) -> Optional[Tuple[int, int, int]]:
+    if event is None:
+        return None
+    return (event.time, event.priority, event.seq)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_event_heap_matches_reference_model(seed: int) -> None:
+    rng = random.Random(seed)
+    heap = EventHeap()
+    model = ReferenceHeap()
+    live_pairs: List[Tuple[Event, Event]] = []  # (heap event, model event)
+    clock = 0
+
+    for _ in range(600):
+        op = rng.random()
+        if op < 0.45:
+            time = clock + rng.randrange(0, 50)
+            priority = rng.choice((0, 0, 0, 1, 5, -3))
+            actual = heap.push(time, lambda: None, priority=priority)
+            expected = model.push(time, priority=priority)
+            assert key(actual) == key(expected)
+            live_pairs.append((actual, expected))
+        elif op < 0.60 and live_pairs:
+            actual, expected = live_pairs.pop(
+                rng.randrange(len(live_pairs)))
+            actual.cancel()
+            expected.cancel()
+        elif op < 0.75:
+            assert heap.peek_time() == model.peek_time()
+        elif op < 0.88:
+            until = (None if rng.random() < 0.3
+                     else clock + rng.randrange(0, 40))
+            actual = heap.pop_next(until)
+            expected = model.pop_next(until)
+            assert key(actual) == key(expected)
+            if actual is not None:
+                clock = max(clock, actual.time)
+        else:
+            actual = heap.pop()
+            expected = model.pop()
+            assert key(actual) == key(expected)
+            if actual is not None:
+                clock = max(clock, actual.time)
+        assert len(heap) == len(model)
+
+    # Drain both completely; the full remaining order must agree.
+    while True:
+        actual = heap.pop_next()
+        expected = model.pop_next()
+        assert key(actual) == key(expected)
+        if actual is None:
+            break
+    assert len(heap) == len(model) == 0
+
+
+def test_push_rejects_negative_time() -> None:
+    heap = EventHeap()
+    with pytest.raises(SchedulingError):
+        heap.push(-1, lambda: None)
+
+
+def test_cancelled_run_is_all_lazy_discard() -> None:
+    """Cancelling every event must drain to empty without phantom counts."""
+    heap = EventHeap()
+    events = [heap.push(t, lambda: None) for t in range(20)]
+    for event in events:
+        event.cancel()
+    # Cancellation is lazy: entries stay counted until a scan reaches them.
+    assert len(heap) == 20
+    assert heap.peek_time() is None  # the scan discards every entry
+    assert len(heap) == 0
+    assert heap.pop_next() is None
+    assert heap.pop() is None
