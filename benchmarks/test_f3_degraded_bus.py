@@ -1,0 +1,99 @@
+"""F3 — degraded-bus sweep: loss rate vs throughput and recovery
+latency (section 5.1 under transient bus faults).
+
+The paper's bus guarantees (all-or-none delivery, no interleaving) are
+stated for a healthy dual bus.  F3 degrades the bus deterministically —
+seeded per-transmission loss/garble on either physical bus, with the
+retransmission/failover protocol underneath — and sweeps the loss rate
+over the OLTP bank workload twice: once failure-free to price the
+degradation in virtual completion time, and once with the bank server's
+cluster crashed mid-run to price crash recovery on a lossy bus.
+
+Expected shape: external behaviour (terminal output, exit codes) is
+identical at every loss rate; retransmissions grow with the rate and
+completion time grows with them; crash recovery still completes and all
+clients see exactly-once replies even at the heaviest degradation.
+"""
+
+from repro import BackupMode, Machine, MachineConfig
+from repro.config import BusFaultConfig
+from repro.metrics import format_table
+from repro.workloads import build_bank_workload
+
+from conftest import run_once
+
+LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.35)
+CRASH_AT = 12_000
+
+
+def run_bank(loss_rate, crash):
+    config = MachineConfig(n_clusters=3, trace_enabled=False, seed=7)
+    if loss_rate:
+        config.bus_faults = BusFaultConfig(loss_rate=loss_rate,
+                                           garble_rate=loss_rate / 2,
+                                           seed=11)
+    machine = Machine(config.validate())
+    _, clients, _ = build_bank_workload(
+        machine, n_clients=2, txns_per_client=8, accounts=8, seed=7,
+        server_mode=BackupMode.FULLBACK, server_cluster=2)
+    if crash:
+        machine.crash_cluster(2, at=CRASH_AT)
+    machine.run_until_idle(max_events=40_000_000)
+    return machine, clients
+
+
+def run_sweep():
+    rows = []
+    shapes = {}
+    for rate in LOSS_RATES:
+        clean, clean_clients = run_bank(rate, crash=False)
+        crashed, crash_clients = run_bank(rate, crash=True)
+        retx = clean.metrics.counter("bus.retransmissions")
+        dups = clean.metrics.counter("bus.duplicates_suppressed")
+        failovers = clean.metrics.counter("bus.failovers")
+        latencies = crashed.metrics.series(
+            "recovery.crash_handle_latency")
+        rows.append([
+            f"{rate:.2f}", clean.sim.now, retx, dups, failovers,
+            (f"{sum(latencies) / len(latencies):.0f}" if latencies
+             else "-"),
+        ])
+        shapes[rate] = {
+            "completion": clean.sim.now,
+            "retx": retx,
+            "tty": clean.tty_output(),
+            "clean_exits": [clean.exits.get(pid)
+                            for pid in clean_clients],
+            "crash_exits": [crashed.exits.get(pid)
+                            for pid in crash_clients],
+            "latencies": latencies,
+        }
+    return rows, shapes
+
+
+def test_f3_degraded_bus(benchmark, table_printer):
+    rows, shapes = run_once(benchmark, run_sweep)
+    table_printer(format_table(
+        ["loss rate", "completion (ticks)", "retransmissions",
+         "dups suppressed", "failovers", "mean crash recovery (ticks)"],
+        rows, title="F3: degraded-bus sweep, OLTP bank workload "
+                    "(section 5.1 under transient faults)"))
+
+    base = shapes[LOSS_RATES[0]]
+    worst = shapes[LOSS_RATES[-1]]
+    # The fault layer is invisible above the bus: every rate produces
+    # the same terminal output and clean client exits, crash or not.
+    for rate in LOSS_RATES:
+        shape = shapes[rate]
+        assert shape["tty"] == base["tty"]
+        assert all(code == 0 for code in shape["clean_exits"])
+        assert all(code == 0 for code in shape["crash_exits"])
+    # Degradation is real and priced: retransmissions grow with the
+    # loss rate, and the retry/backoff time shows up as completion time.
+    assert base["retx"] == 0
+    retx_curve = [shapes[r]["retx"] for r in LOSS_RATES]
+    assert all(b >= a for a, b in zip(retx_curve, retx_curve[1:]))
+    assert worst["retx"] > shapes[LOSS_RATES[1]]["retx"] > 0
+    assert worst["completion"] > base["completion"]
+    # Crash handling still runs to completion on the lossiest bus.
+    assert worst["latencies"]

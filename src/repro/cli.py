@@ -105,10 +105,23 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from .faults import run_campaign, run_seed
+    from .faults import FAULT_KINDS, run_campaign, run_seed
 
+    kinds = None
+    if args.kinds:
+        kinds = tuple(kind.strip() for kind in args.kinds.split(",")
+                      if kind.strip())
+        unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+        if unknown:
+            print(f"unknown fault kinds: {', '.join(unknown)} "
+                  f"(known: {', '.join(FAULT_KINDS)})")
+            return 2
+    loss_rate = args.loss_rate if args.loss_rate is not None else None
+    garble_rate = (args.garble_rate if args.garble_rate is not None
+                   else None)
     seeds = range(args.base_seed, args.base_seed + args.seeds)
-    report = run_campaign(seeds, n_clusters=args.clusters)
+    report = run_campaign(seeds, n_clusters=args.clusters, kinds=kinds,
+                          loss_rate=loss_rate, garble_rate=garble_rate)
     rows = []
     for result in report.results:
         latencies = result.recovery_latencies
@@ -118,12 +131,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             len(result.injected),
             "PASS" if result.passed else "FAIL",
             result.promotions, result.aborted_transmissions,
+            result.retransmissions, result.failovers,
             (f"{sum(latencies) / len(latencies):.0f}" if latencies
              else "-"),
         ])
     print(format_table(
         ["seed", "fault class", "survivable", "faults fired", "result",
-         "promotions", "aborted tx", "mean recovery (ticks)"],
+         "promotions", "aborted tx", "retx", "failovers",
+         "mean recovery (ticks)"],
         rows, title=f"Fault-injection campaign: {len(report.results)} "
                     f"seeded scenarios on {args.clusters} clusters"))
     pooled = report.pooled_recovery_latencies()
@@ -137,7 +152,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     verified = True
     for seed in seeds[:args.verify]:
         digest = report.results[seed - args.base_seed].digest
-        redo = run_seed(seed, n_clusters=args.clusters)
+        redo = run_seed(seed, n_clusters=args.clusters, kinds=kinds,
+                        loss_rate=loss_rate, garble_rate=garble_rate)
         same = redo.digest == digest
         verified &= same
         print(f"determinism: seed {seed} re-run trace "
@@ -219,6 +235,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     campaign.add_argument("--verify", type=int, default=1,
                           help="re-run the first K seeds and check the "
                                "trace reproduces byte-for-byte")
+    campaign.add_argument("--kinds", type=str, default="",
+                          help="comma-separated fault-kind subset to "
+                               "stratify over (default: all kinds)")
+    campaign.add_argument("--loss-rate", type=float, default=None,
+                          help="bus loss rate laid under every scenario "
+                               "(degraded-bus mode)")
+    campaign.add_argument("--garble-rate", type=float, default=None,
+                          help="bus garble rate laid under every "
+                               "scenario")
     campaign.set_defaults(fn=cmd_campaign)
     bench = sub.add_parser("bench")
     bench.add_argument("--quick", action="store_true",

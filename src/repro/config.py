@@ -64,6 +64,59 @@ class CostModel:
 
 
 @dataclass
+class BusFaultConfig:
+    """Transient-fault model for the dual intercluster bus.
+
+    All rates are per physical transmission attempt and are judged by a
+    deterministic counter-mode hash stream (no runtime RNG), so two runs
+    with the same seed see byte-identical fault schedules.  With both
+    rates at zero the fault layer is never installed and the bus takes
+    the original single-perfect-channel fast path.
+    """
+
+    #: Probability an attempt is lost on the wire (split deterministically
+    #: between payload loss and lost acknowledgement; an ack loss delivers
+    #: but forces a retransmission, exercising duplicate suppression).
+    loss_rate: float = 0.0
+    #: Probability an attempt arrives corrupted; the receiver's checksum
+    #: rejects the whole transmission (all-or-none is trivially kept).
+    garble_rate: float = 0.0
+    #: Attempts allowed on one bus before the sender declares it suspect
+    #: and fails over (if the alternate bus is still alive).
+    retry_limit: int = 4
+    #: Base retransmission backoff in ticks; doubles per attempt
+    #: (capped at ``backoff_base << 10``).
+    backoff_base: Ticks = 200
+    #: Consecutive failed attempts on one bus before it is declared dead.
+    failover_threshold: int = 3
+    #: Seed of the deterministic fault stream.
+    seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.loss_rate > 0.0 or self.garble_rate > 0.0
+
+    def validate(self) -> "BusFaultConfig":
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigError(f"loss_rate must be in [0, 1), "
+                              f"got {self.loss_rate}")
+        if not 0.0 <= self.garble_rate < 1.0:
+            raise ConfigError(f"garble_rate must be in [0, 1), "
+                              f"got {self.garble_rate}")
+        if self.loss_rate + self.garble_rate > 0.9:
+            raise ConfigError(
+                "loss_rate + garble_rate must leave >= 0.1 success "
+                f"probability, got {self.loss_rate + self.garble_rate}")
+        if self.retry_limit < 1:
+            raise ConfigError("retry_limit must be >= 1")
+        if self.backoff_base < 1:
+            raise ConfigError("backoff_base must be >= 1")
+        if self.failover_threshold < 1:
+            raise ConfigError("failover_threshold must be >= 1")
+        return self
+
+
+@dataclass
 class MachineConfig:
     """Shape and policy of a simulated Auragen 4000 machine.
 
@@ -104,6 +157,10 @@ class MachineConfig:
     #: production use.
     ablate_dest_backup_save: bool = False   # drop DEST_BACKUP copies (5.1)
     ablate_send_suppression: bool = False   # ignore write counts (5.4)
+    #: Transient-fault model for the dual bus (off by default; see
+    #: :class:`BusFaultConfig`).  The machine stays free of runtime
+    #: randomness — fault outcomes come from a seeded hash stream.
+    bus_faults: BusFaultConfig = field(default_factory=BusFaultConfig)
     #: Workload RNG seed (the machine itself uses no randomness).
     seed: int = 0
 
@@ -126,6 +183,7 @@ class MachineConfig:
             raise ConfigError("page geometry must be positive")
         if self.poll_interval < 1:
             raise ConfigError("poll_interval must be >= 1")
+        self.bus_faults.validate()
         return self
 
 

@@ -65,6 +65,11 @@ class Machine:
         self.disks = self.topology.build_disks()
         self.bus = InterclusterBus(self.sim, self.config.costs,
                                    self.metrics, self.trace)
+        if self.config.bus_faults.enabled:
+            # Post-construction install keeps the 4-arg constructor the
+            # A/B legacy-engine swap relies on; with rates at zero the
+            # bus keeps its fault-free fast path untouched.
+            self.bus.configure_faults(self.config.bus_faults)
         self.clusters: List[Cluster] = [
             Cluster(cid, self.config, self.sim, self.bus, self.metrics,
                     self.trace)
@@ -81,6 +86,7 @@ class Machine:
         for kernel in self.kernels:
             register_server_actions(kernel)
             kernel.on_exit = self._record_exit
+            kernel.on_fatal = self._on_fatal_hardware
         self._spawn_cluster_rr = 0
         self._restore_epoch = 0
         self._crashed: set = set()
@@ -239,6 +245,14 @@ class Machine:
         else:
             self.sim.call_at(at, do_crash, label=f"crash:{cluster_id}")
 
+    def _on_fatal_hardware(self, cluster_id: ClusterId,
+                           reason: str) -> None:
+        """A kernel hit unrecoverable hardware (e.g. both drives of its
+        disk dead): convert it into a clean whole-cluster crash so the
+        failure surfaces through the detector path, never as an
+        exception escaping the event loop."""
+        self.crash_cluster(cluster_id)
+
     def fail_process(self, pid: Pid, at: Optional[Ticks] = None) -> None:
         """Fail one process without crashing its cluster (the section 10
         individual-failure extension): its backup alone is brought up."""
@@ -279,6 +293,7 @@ class Machine:
         fresh._next_msg = epoch_base + 1
         fresh.known_dead = set(self._crashed)
         fresh.on_exit = self._record_exit
+        fresh.on_fatal = self._on_fatal_hardware
         register_server_actions(fresh)
         self.kernels[cluster_id] = fresh
         self.directory.mark_restored(cluster_id)

@@ -7,10 +7,19 @@ A campaign sweeps seeds; every seed expands deterministically — via
 2. a :class:`FaultPlan`: which fault class, aimed where, triggered when.
 
 Fault classes are stratified by seed (``seed % len(FAULT_KINDS)``), so
-any sweep of N >= 6 consecutive seeds covers every class: crashes at
-arbitrary times, crashes *during a sync*, crashes mid bus transmission,
-double faults that kill the recovering cluster while its recovery is in
-progress, individual process failures, and crash-then-restore cycles.
+any sweep of N >= len(FAULT_KINDS) consecutive seeds covers every class:
+crashes at arbitrary times, crashes *during a sync*, crashes mid bus
+transmission, double faults that kill the recovering cluster while its
+recovery is in progress, individual process failures, crash-then-restore
+cycles, degraded-bus scenarios (seeded loss/garble rates on the dual
+bus, including rates high enough to force a failover), and compound
+plans — double crashes, a crash landing during another crash's
+recovery, and a drive failure paired with a cluster crash.
+
+A sweep can be restricted (``kinds=...``) or given blanket bus-fault
+rates (``loss_rate=`` / ``garble_rate=``) that apply *on top of* any
+plan — crash faults on a degraded bus are exactly the compound mode the
+CI smoke matrix runs.
 
 Each scenario runs twice — failure-free and faulted — and the invariant
 checkers (:mod:`repro.faults.invariants`) compare them.  The faulted
@@ -24,7 +33,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..config import MachineConfig
+from ..config import BusFaultConfig, MachineConfig
 from ..core.machine import Machine
 from ..sim.events import SimulationError
 from ..sim.rng import DeterministicRNG
@@ -35,8 +44,16 @@ from .injector import (FaultInjector, nth_sync, nth_transmission,
 from .invariants import check_scenario
 
 #: The fault classes a campaign draws from, in stratification order.
+#: The original six keep their positions so historical seed -> scenario
+#: mappings stay stable; the bus and compound classes extend the cycle.
 FAULT_KINDS = ("time_crash", "sync_crash", "transmission_crash",
-               "recovery_double", "proc_fail", "crash_restore")
+               "recovery_double", "proc_fail", "crash_restore",
+               "bus_loss", "bus_garble", "bus_failover",
+               "double_crash", "crash_during_recovery", "drive_crash")
+
+#: Classes whose fault lives in the machine config (the bus fault
+#: layer), not in the injector.
+BUS_FAULT_KINDS = ("bus_loss", "bus_garble", "bus_failover")
 
 #: Event budget per scenario run; a run that exhausts it is reported as
 #: a violation (the simulation livelocked), not an exception.
@@ -63,6 +80,60 @@ class FaultPlan:
         inner = " ".join(f"{key}={value}"
                          for key, value in sorted(self.params.items()))
         return f"{self.kind}({inner})"
+
+    def components(self) -> List[Dict[str, Any]]:
+        """The individual faults this plan comprises, in injection
+        order — one entry for simple kinds, several for compound kinds.
+        ``fault`` names the injector record kind each component should
+        produce (``"bus"`` components are configured, not injected)."""
+        params = self.params
+        if self.kind == "time_crash":
+            return [{"fault": "crash",
+                     "planned": f"cluster {params['cluster']} "
+                                f"at t={params['at']}"}]
+        if self.kind == "sync_crash":
+            return [{"fault": "crash",
+                     "planned": f"at sync #{params['nth']}"}]
+        if self.kind == "transmission_crash":
+            return [{"fault": "crash",
+                     "planned": f"at transmission #{params['nth']}"}]
+        if self.kind in ("recovery_double", "crash_during_recovery"):
+            return [{"fault": "crash",
+                     "planned": f"cluster {params['cluster']} "
+                                f"at t={params['at']}"},
+                    {"fault": "crash",
+                     "planned": "the recovering cluster, mid-recovery"}]
+        if self.kind == "proc_fail":
+            return [{"fault": "procfail",
+                     "planned": f"pid index {params['pid_index']} "
+                                f"at t={params['at']}"}]
+        if self.kind == "crash_restore":
+            return [{"fault": "crash",
+                     "planned": f"cluster {params['cluster']} "
+                                f"at t={params['at']}"},
+                    {"fault": "restore",
+                     "planned": f"after {params['restore_after']} ticks"}]
+        if self.kind in BUS_FAULT_KINDS:
+            rates = ", ".join(f"{key}={params[key]}"
+                              for key in ("loss_rate", "garble_rate")
+                              if key in params)
+            return [{"fault": "bus", "planned": rates or "bus faults"}]
+        if self.kind == "double_crash":
+            return [{"fault": "crash",
+                     "planned": f"cluster {params['first']} "
+                                f"at t={params['at']}"},
+                    {"fault": "crash",
+                     "planned": f"cluster {params['second']} "
+                                f"at t={params['at2']}"}]
+        if self.kind == "drive_crash":
+            return [{"fault": "drive_fail",
+                     "planned": f"{params['disk']} drive "
+                                f"{params['drive']} "
+                                f"at t={params['at_drive']}"},
+                    {"fault": "crash",
+                     "planned": f"cluster {params['cluster']} "
+                                f"at t={params['at']}"}]
+        raise ValueError(f"unknown fault kind {self.kind!r}")
 
 
 def build_plan(rng: DeterministicRNG, kind: str,
@@ -93,6 +164,46 @@ def build_plan(rng: DeterministicRNG, kind: str,
         return FaultPlan(kind, {"cluster": victim, "at": when,
                                 "restore_after":
                                     rng.randint(20_000, 60_000)}, True)
+    if kind == "bus_loss":
+        # Transient losses (payload and acknowledgement) on the dual
+        # bus; retransmission + duplicate suppression must mask them
+        # completely, so the plan demands exact external equivalence.
+        return FaultPlan(kind, {"loss_rate":
+                                    rng.choice([0.05, 0.1, 0.2, 0.3]),
+                                "bus_seed": rng.randint(0, 2 ** 31)},
+                         True)
+    if kind == "bus_garble":
+        return FaultPlan(kind, {"garble_rate":
+                                    rng.choice([0.05, 0.1, 0.2]),
+                                "bus_seed": rng.randint(0, 2 ** 31)},
+                         True)
+    if kind == "bus_failover":
+        # Rates hostile enough that a link racks up consecutive failures
+        # and is declared dead: the run must finish on the surviving bus.
+        return FaultPlan(kind, {"loss_rate": 0.45, "garble_rate": 0.25,
+                                "bus_seed": rng.randint(0, 2 ** 31)},
+                         True)
+    if kind == "double_crash":
+        second = rng.randint(0, n_clusters - 2)
+        if second >= victim:
+            second += 1  # distinct from the first victim
+        return FaultPlan(kind, {"first": victim, "at": when,
+                                "second": second,
+                                "at2": when + rng.randint(5_000, 40_000)},
+                         False)
+    if kind == "crash_during_recovery":
+        # The compound-plan spelling of recovery_double: a scheduled
+        # crash plus a semantic trigger that kills whichever cluster is
+        # handling the first crash, while it is handling it.
+        return FaultPlan(kind, {"cluster": victim, "at": when}, False)
+    if kind == "drive_crash":
+        # One drive of a mirrored disk dies, then a cluster crashes.
+        # Both faults are individually masked; together they must be too.
+        return FaultPlan(kind, {"disk": rng.choice(["disk0", "pagedisk",
+                                                    "rawdisk"]),
+                                "drive": rng.randint(0, 1),
+                                "at_drive": rng.randint(2_000, 30_000),
+                                "cluster": victim, "at": when}, True)
     raise ValueError(f"unknown fault kind {kind!r}")
 
 
@@ -121,8 +232,45 @@ def install_plan(plan: FaultPlan, injector: FaultInjector,
         injector.crash_at(params["cluster"], params["at"])
         injector.restore_at(params["cluster"],
                             params["at"] + params["restore_after"])
+    elif plan.kind in BUS_FAULT_KINDS:
+        pass  # the fault lives in the machine config (plan_machine_config)
+    elif plan.kind == "double_crash":
+        injector.crash_at(params["first"], params["at"])
+        injector.crash_at(params["second"], params["at2"])
+    elif plan.kind == "crash_during_recovery":
+        injector.crash_at(params["cluster"], params["at"])
+        injector.crash_on(recovery_begin(), from_detail="cluster")
+    elif plan.kind == "drive_crash":
+        injector.fail_drive_at(params["disk"], params["drive"],
+                               params["at_drive"])
+        injector.crash_at(params["cluster"], params["at"])
     else:  # pragma: no cover - guarded by build_plan
         raise ValueError(f"unknown fault kind {plan.kind!r}")
+
+
+def plan_machine_config(plan: FaultPlan, n_clusters: int, seed: int,
+                        loss_rate: Optional[float] = None,
+                        garble_rate: Optional[float] = None
+                        ) -> MachineConfig:
+    """Machine configuration for a plan's faulted run.  Bus-fault plans
+    carry their rates and stream seed; ``loss_rate``/``garble_rate``
+    overrides lay a degraded bus under *any* plan (the compound smoke
+    mode)."""
+    config = MachineConfig(n_clusters=n_clusters, trace_enabled=True)
+    params = plan.params
+    bus = BusFaultConfig()
+    if plan.kind in BUS_FAULT_KINDS:
+        bus.loss_rate = params.get("loss_rate", 0.0)
+        bus.garble_rate = params.get("garble_rate", 0.0)
+        bus.seed = params.get("bus_seed", seed)
+    if loss_rate is not None:
+        bus.loss_rate = loss_rate
+    if garble_rate is not None:
+        bus.garble_rate = garble_rate
+    if bus.enabled and "bus_seed" not in params:
+        bus.seed = seed  # overrides on a non-bus plan: seed by scenario
+    config.bus_faults = bus
+    return config
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +295,12 @@ class ScenarioResult:
     server_promotions: int = 0
     aborted_transmissions: int = 0
     transmissions: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    failovers: int = 0
+    #: Per-fault outcome of each plan component (compound plans have
+    #: several): planned aim point, whether it was delivered, and when.
+    fault_outcomes: List[Dict[str, Any]] = field(default_factory=list)
     recovery_latencies: List[int] = field(default_factory=list)
     trace_tail: List[str] = field(default_factory=list)
 
@@ -160,6 +314,10 @@ class ScenarioResult:
             "server_promotions": self.server_promotions,
             "aborted_transmissions": self.aborted_transmissions,
             "transmissions": self.transmissions,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "failovers": self.failovers,
+            "fault_outcomes": self.fault_outcomes,
             "recovery_latencies": self.recovery_latencies,
         }
 
@@ -174,22 +332,65 @@ def trace_digest(machine: Machine) -> str:
     return hasher.hexdigest()
 
 
+def _fault_outcomes(plan: FaultPlan, injector: FaultInjector,
+                    machine: Machine) -> List[Dict[str, Any]]:
+    """Match each plan component against what was actually delivered:
+    injector records for crash/restore/procfail/drive_fail components,
+    bus-fault counters for configured bus components."""
+    outcomes: List[Dict[str, Any]] = []
+    records = list(injector.injected)
+    used = [False] * len(records)
+    metrics = machine.metrics
+    for component in plan.components():
+        entry = dict(component)
+        entry["delivered"] = False
+        entry["time"] = None
+        if component["fault"] == "bus":
+            faults = sum(metrics.counter(f"bus.faults.{kind}")
+                         for kind in ("loss", "ack_loss", "garble"))
+            entry["delivered"] = faults > 0
+            entry["bus_faults"] = faults
+            entry["retransmissions"] = metrics.counter(
+                "bus.retransmissions")
+            entry["failovers"] = metrics.counter("bus.failovers")
+        else:
+            for index, record in enumerate(records):
+                if not used[index] and record.kind == component["fault"]:
+                    used[index] = True
+                    entry["delivered"] = True
+                    entry["time"] = record.time
+                    entry["detail"] = dict(record.detail)
+                    break
+        outcomes.append(entry)
+    return outcomes
+
+
 def run_seed(seed: int, n_clusters: int = 3,
              max_events: int = MAX_EVENTS,
-             tail_lines: int = 40) -> ScenarioResult:
+             tail_lines: int = 40,
+             kinds: Optional[Sequence[str]] = None,
+             loss_rate: Optional[float] = None,
+             garble_rate: Optional[float] = None) -> ScenarioResult:
     """Run one complete scenario: generate, run failure-free, run
-    faulted, check invariants."""
+    faulted, check invariants.
+
+    ``kinds`` restricts the stratification cycle to a subset of
+    :data:`FAULT_KINDS`; ``loss_rate``/``garble_rate`` lay a degraded
+    bus under the faulted run regardless of the plan's kind.
+    """
     root = DeterministicRNG(seed)
     workload_rng = root.fork("workload")
     fault_rng = root.fork("faults")
-    kind = FAULT_KINDS[seed % len(FAULT_KINDS)]
+    kind_cycle = tuple(kinds) if kinds else FAULT_KINDS
+    kind = kind_cycle[seed % len(kind_cycle)]
     plan = build_plan(fault_rng, kind, n_clusters)
     scenario = generate_scenario(workload_rng.seed, n_clusters=n_clusters)
 
     baseline = scenario.run(max_events=max_events)
 
-    faulted = Machine(MachineConfig(n_clusters=n_clusters,
-                                    trace_enabled=True))
+    faulted = Machine(plan_machine_config(plan, n_clusters, seed,
+                                          loss_rate=loss_rate,
+                                          garble_rate=garble_rate))
     pids = scenario.build(faulted)
     injector = FaultInjector(faulted)
     install_plan(plan, injector, pids)
@@ -215,6 +416,11 @@ def run_seed(seed: int, n_clusters: int = 3,
         aborted_transmissions=faulted.metrics.counter(
             "bus.aborted_transmissions"),
         transmissions=faulted.metrics.counter("bus.transmissions"),
+        retransmissions=faulted.metrics.counter("bus.retransmissions"),
+        duplicates_suppressed=faulted.metrics.counter(
+            "bus.duplicates_suppressed"),
+        failovers=faulted.metrics.counter("bus.failovers"),
+        fault_outcomes=_fault_outcomes(plan, injector, faulted),
         recovery_latencies=faulted.metrics.series(
             "recovery.crash_handle_latency"))
     if violations:
@@ -279,17 +485,27 @@ class CampaignReport:
 
 
 def run_campaign(seeds: Sequence[int], n_clusters: int = 3,
-                 max_events: int = MAX_EVENTS) -> CampaignReport:
+                 max_events: int = MAX_EVENTS,
+                 kinds: Optional[Sequence[str]] = None,
+                 loss_rate: Optional[float] = None,
+                 garble_rate: Optional[float] = None) -> CampaignReport:
     """Run every seed and aggregate."""
     report = CampaignReport(n_clusters=n_clusters)
     for seed in seeds:
         report.results.append(run_seed(seed, n_clusters=n_clusters,
-                                       max_events=max_events))
+                                       max_events=max_events, kinds=kinds,
+                                       loss_rate=loss_rate,
+                                       garble_rate=garble_rate))
     return report
 
 
-def verify_reproducibility(seed: int, n_clusters: int = 3) -> bool:
+def verify_reproducibility(seed: int, n_clusters: int = 3,
+                           kinds: Optional[Sequence[str]] = None,
+                           loss_rate: Optional[float] = None,
+                           garble_rate: Optional[float] = None) -> bool:
     """Re-run ``seed`` twice; True iff the traces match byte-for-byte."""
-    first = run_seed(seed, n_clusters=n_clusters)
-    second = run_seed(seed, n_clusters=n_clusters)
+    first = run_seed(seed, n_clusters=n_clusters, kinds=kinds,
+                     loss_rate=loss_rate, garble_rate=garble_rate)
+    second = run_seed(seed, n_clusters=n_clusters, kinds=kinds,
+                      loss_rate=loss_rate, garble_rate=garble_rate)
     return first.digest == second.digest and first.digest != ""

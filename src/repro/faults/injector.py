@@ -129,9 +129,15 @@ class FaultInjector:
         self.injected: List[InjectionRecord] = []
 
     def detach(self) -> None:
-        """Stop listening (armed but unfired triggers never fire)."""
+        """Stop listening (armed but unfired triggers never fire).
+
+        Also drops the armed triggers themselves: a detached injector
+        that is re-armed later must not have its *old* triggers silently
+        counting records again alongside the new ones.
+        """
         self.machine.trace.unsubscribe(self._on_record)
         self._subscribed.clear()
+        self._armed.clear()
 
     # ------------------------------------------------------------------
     # schedule-driven points
@@ -156,6 +162,13 @@ class FaultInjector:
         self.machine.sim.call_at(
             time, lambda: self._do_fail_process(pid),
             label=f"fault.procfail:{pid}")
+
+    def fail_drive_at(self, disk: str, which: int, time: Ticks) -> None:
+        """Fail one drive of a mirrored disk at ``time`` (no-op if that
+        drive is already dead)."""
+        self.machine.sim.call_at(
+            time, lambda: self._do_fail_drive(disk, which),
+            label=f"fault.drivefail:{disk}:{which}")
 
     # ------------------------------------------------------------------
     # semantic trigger points
@@ -222,6 +235,13 @@ class FaultInjector:
             return
         self._record("restore", cluster=cluster)
         self.machine.restore_cluster(cluster)
+
+    def _do_fail_drive(self, disk: str, which: int) -> None:
+        mirrored = self.machine.disks.get(disk)
+        if mirrored is None or mirrored._drives[which].failed:
+            return
+        self._record("drive_fail", disk=disk, drive=which)
+        mirrored.fail_drive(which)
 
     def _do_fail_process(self, pid: Pid) -> None:
         from ..recovery.procfail import fail_process

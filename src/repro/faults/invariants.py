@@ -164,4 +164,53 @@ def check_metrics_sanity(machine: Machine,
     if aborted > metrics.counter("bus.transmissions"):
         violations.append("metrics: more aborted transmissions than "
                           "transmissions")
+    violations += check_bus_fault_sanity(machine)
+    return violations
+
+
+def check_bus_fault_sanity(machine: Machine) -> List[str]:
+    """Retransmission-count sanity for the degraded-bus fault layer.
+
+    Every counter must agree with its trace category, and the protocol's
+    arithmetic must close: each judged fault schedules exactly one
+    retransmission, except faults whose retry was stranded when the
+    sender crashed during the backoff window — at most one per aborted
+    transmission.  A run with fault rates at zero must show zeroes
+    everywhere (the fast path was taken).
+    """
+    violations: List[str] = []
+    metrics, trace = machine.metrics, machine.trace
+
+    def must_equal(counter: str, observed: int, what: str) -> None:
+        value = metrics.counter(counter)
+        if value != observed:
+            violations.append(f"metrics: {counter}={value} but {what} "
+                              f"shows {observed}")
+
+    must_equal("bus.retransmissions", trace.count("bus.retransmit"),
+               "trace bus.retransmit count")
+    must_equal("bus.duplicates_suppressed", trace.count("bus.duplicate"),
+               "trace bus.duplicate count")
+    must_equal("bus.failovers", trace.count("bus.failover"),
+               "trace bus.failover count")
+    faults = sum(metrics.counter(f"bus.faults.{kind}")
+                 for kind in ("loss", "ack_loss", "garble"))
+    must_equal_faults = trace.count("bus.fault")
+    if faults != must_equal_faults:
+        violations.append(f"metrics: bus.faults.* total {faults} but "
+                          f"trace bus.fault shows {must_equal_faults}")
+    retransmissions = metrics.counter("bus.retransmissions")
+    if retransmissions > faults:
+        violations.append(
+            f"metrics: {retransmissions} retransmissions exceed "
+            f"{faults} judged bus faults")
+    stranded = faults - retransmissions
+    aborted = metrics.counter("bus.aborted_transmissions")
+    if stranded > aborted:
+        violations.append(
+            f"metrics: {stranded} faults never retried but only "
+            f"{aborted} transmissions were aborted")
+    if metrics.counter("bus.failovers") > 1:
+        violations.append("metrics: more than one bus failover on a "
+                          "dual bus")
     return violations

@@ -15,6 +15,19 @@ reproduction provides them:
 Each transmission crosses the bus exactly once regardless of how many
 clusters it addresses (section 8.1's "transmitted just once" claim, counted
 by the ``bus.transmissions`` metric).
+
+The Auragen's dual bus exists for hardware fault tolerance; with
+:class:`~repro.config.BusFaultConfig` rates set, a deterministic
+transient-fault layer (:mod:`repro.hardware.buslink`) sits under the
+logical channel: attempts may be lost or garbled, the sender retries with
+exponential backoff, receivers suppress duplicates by sequence number,
+and a link that keeps failing is declared dead (failover to the
+alternate bus, trace ``bus.failover``).  The bus stays granted to the
+retrying transmission for the whole retry chain, so both section 5.1
+guarantees hold *above* the fault layer: a faulted attempt delivers to
+no one (loss) or to everyone exactly once (ack loss + suppression), and
+transmissions never interleave.  With rates at zero no layer is
+installed and this module's original fast path runs byte-identically.
 """
 
 from __future__ import annotations
@@ -23,11 +36,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional, TYPE_CHECKING
 
-from ..config import CostModel
+from ..config import BusFaultConfig, CostModel
 from ..messages.message import Message
 from ..metrics import MetricSet
 from ..sim import Simulator, TraceLog
 from ..types import ClusterId
+from .buslink import ACK_LOSS, DualBusFaultLayer, OK
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .cluster import Cluster
@@ -37,6 +51,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 class _Transmission:
     src: ClusterId
     message: Message
+    #: Fault-layer fields (unused — and never touched — on the perfect
+    #: channel fast path).
+    seqno: int = 0
+    attempts: int = 0
+    attempts_on_link: int = 0
 
 
 class InterclusterBus:
@@ -59,10 +78,27 @@ class InterclusterBus:
         self._requests: Deque[ClusterId] = deque()
         self._requested: set = set()
         self._current: Optional[_Transmission] = None
+        #: Installed by :meth:`configure_faults`; ``None`` keeps the
+        #: original perfect-channel fast path byte-identical.
+        self._faults: Optional[DualBusFaultLayer] = None
 
     def attach(self, cluster: "Cluster") -> None:
         """Register a cluster on the bus (done once at machine build)."""
         self._clusters[cluster.cluster_id] = cluster
+
+    def configure_faults(self, config: BusFaultConfig) -> None:
+        """Install (or remove) the dual-bus transient-fault layer.
+
+        Called after construction so the constructor signature stays
+        identical to the vendored pre-fast-path bus the A/B benchmark
+        swaps in.
+        """
+        self._faults = (DualBusFaultLayer(config) if config is not None
+                        and config.enabled else None)
+
+    @property
+    def fault_layer(self) -> Optional[DualBusFaultLayer]:
+        return self._faults
 
     @property
     def busy(self) -> bool:
@@ -111,6 +147,9 @@ class InterclusterBus:
             return
 
     def _begin(self, src: ClusterId, message: Message) -> None:
+        if self._faults is not None:
+            self._begin_faulted(src, message)
+            return
         transmission = _Transmission(src=src, message=message)
         self._current = transmission
         duration = (self._costs.bus_latency
@@ -163,6 +202,134 @@ class InterclusterBus:
             cluster = self._clusters.get(cluster_id)
             if cluster is None or not cluster.alive:
                 self._metrics.incr("bus.deliveries_to_dead")
+                continue
+            cluster.receive(message, cluster_legs)
+            self._metrics.incr("bus.deliveries")
+
+    # ------------------------------------------------------------------
+    # degraded mode: the dual-bus transient-fault protocol
+    # ------------------------------------------------------------------
+    #
+    # The bus stays granted to one transmission for its whole retry
+    # chain, so the no-interleaving guarantee is structural.  Every
+    # attempt is judged by the active link's deterministic fault stream;
+    # a lost or garbled attempt delivers to nobody, an ack-lost attempt
+    # delivers to everybody (receivers later suppress the retransmitted
+    # duplicate by sequence number) — all-or-none either way.
+
+    def _begin_faulted(self, src: ClusterId, message: Message) -> None:
+        transmission = _Transmission(src=src, message=message,
+                                     seqno=self._faults.next_seqno(src))
+        self._current = transmission
+        self._attempt(transmission)
+
+    def _attempt(self, transmission: _Transmission) -> None:
+        """Put one physical attempt on the active link."""
+        faults = self._faults
+        link = faults.active_link
+        first = transmission.attempts == 0
+        transmission.attempts += 1
+        transmission.attempts_on_link += 1
+        message = transmission.message
+        duration = (self._costs.bus_latency
+                    + message.size_bytes * self._costs.bus_ticks_per_byte)
+        if first:
+            self._metrics.incr("bus.transmissions")
+        else:
+            self._metrics.incr("bus.retransmissions")
+        self._metrics.incr("bus.bytes", message.size_bytes)
+        self._metrics.add_busy("bus", message.kind.value, duration)
+        if self._trace.active:
+            category = "bus.transmit" if first else "bus.retransmit"
+            self._trace.emit(self._sim.now, category, src=transmission.src,
+                             msg=message.describe(),
+                             targets=message.target_clusters(),
+                             link=link.link_id, seq=transmission.seqno,
+                             attempt=transmission.attempts)
+        self._sim.call_after(duration,
+                             lambda: self._complete_attempt(transmission,
+                                                            link),
+                             label="bus.complete")
+
+    def _complete_attempt(self, transmission: _Transmission,
+                          link) -> None:
+        if self._current is not transmission:
+            # Aborted mid-flight by a sender crash (stale completion).
+            return
+        message = transmission.message
+        src_cluster = self._clusters[transmission.src]
+        if not src_cluster.alive:
+            self._abort_faulted(transmission)
+            return
+        faults = self._faults
+        outcome = link.judge()
+        if outcome is OK or outcome is ACK_LOSS:
+            self._deliver_tracked(transmission)
+        if outcome is OK:
+            faults.record_success(link)
+            self._current = None
+            if src_cluster.has_outgoing():
+                self.request(transmission.src)
+            self._grant_next()
+            return
+        # loss / ack_loss / garble: the sender sees no acknowledgement.
+        faults.record_failure(link)
+        self._metrics.incr(f"bus.faults.{outcome}")
+        if self._trace.active:
+            self._trace.emit(self._sim.now, "bus.fault", kind=outcome,
+                             link=link.link_id, src=transmission.src,
+                             seq=transmission.seqno,
+                             attempt=transmission.attempts)
+        if faults.should_fail_over(link, transmission.attempts_on_link):
+            fresh = faults.fail_over(link)
+            transmission.attempts_on_link = 0
+            self._metrics.incr("bus.failovers")
+            self._trace.emit(self._sim.now, "bus.failover",
+                             dead_link=link.link_id,
+                             active_link=fresh.link_id,
+                             consecutive=link.consecutive_failures)
+        backoff = faults.backoff(transmission.attempts)
+        self._sim.call_after(backoff, lambda: self._retry(transmission),
+                             label="bus.retry")
+
+    def _retry(self, transmission: _Transmission) -> None:
+        if self._current is not transmission:
+            return  # sender crashed during the backoff window
+        if not self._clusters[transmission.src].alive:
+            self._abort_faulted(transmission)
+            return
+        self._attempt(transmission)
+
+    def _abort_faulted(self, transmission: _Transmission) -> None:
+        """Sender died between attempts (or at a completion instant)."""
+        self._trace.emit(self._sim.now, "bus.aborted",
+                         src=transmission.src,
+                         msg=transmission.message.describe())
+        self._metrics.incr("bus.aborted_transmissions")
+        self._current = None
+        self._grant_next()
+
+    def _deliver_tracked(self, transmission: _Transmission) -> None:
+        """Atomic delivery with receiver-side duplicate suppression: a
+        cluster that already accepted this (src, seqno) — an earlier
+        ack-lost attempt — drops the retransmitted copy."""
+        faults = self._faults
+        message = transmission.message
+        legs: Dict[ClusterId, list] = {}
+        for delivery in message.deliveries:
+            legs.setdefault(delivery.cluster_id, []).append(delivery)
+        for cluster_id, cluster_legs in legs.items():
+            cluster = self._clusters.get(cluster_id)
+            if cluster is None or not cluster.alive:
+                self._metrics.incr("bus.deliveries_to_dead")
+                continue
+            if faults.is_duplicate(cluster_id, transmission.src,
+                                   transmission.seqno):
+                self._metrics.incr("bus.duplicates_suppressed")
+                if self._trace.active:
+                    self._trace.emit(self._sim.now, "bus.duplicate",
+                                     dst=cluster_id, src=transmission.src,
+                                     seq=transmission.seqno)
                 continue
             cluster.receive(message, cluster_legs)
             self._metrics.incr("bus.deliveries")

@@ -1,0 +1,155 @@
+"""Physical bus links: the dual intercluster bus with transient faults.
+
+Section 7.1 gives the Auragen a *dual* high-speed bus "for hardware
+fault tolerance".  :mod:`repro.hardware.bus` models the logical channel
+(serialization, atomic delivery); this module models the two physical
+links underneath it and the transient faults they may suffer:
+
+* **loss** — an attempt vanishes on the wire; no cluster receives it;
+* **ack loss** — the attempt arrives everywhere but the sender's
+  acknowledgement is lost, so the sender must retransmit and receivers
+  must suppress the duplicate (LLFT-style sequence numbers);
+* **garble** — the attempt arrives corrupted; the receiving checksum
+  rejects the whole transmission, so all-or-none holds trivially.
+
+Outcomes are judged by a counter-mode splitmix64 hash stream keyed on
+``(seed, link_id, draw_index)`` — no runtime RNG touches the machine, so
+a seeded scenario replays its fault schedule byte-for-byte.  A link that
+fails too often (``failover_threshold`` consecutive failures, or one
+transmission exhausting ``retry_limit`` attempts on it) is declared dead
+and the layer degrades to single-bus operation; the *last* live link is
+never declared dead, so every transmission eventually delivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..config import BusFaultConfig
+from ..types import ClusterId
+
+#: Attempt outcomes, in the order the fault stream carves [0, 1).
+OK = "ok"
+LOSS = "loss"
+ACK_LOSS = "ack_loss"
+GARBLE = "garble"
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 avalanche round (deterministic, well-mixed)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+def _mix(*parts: int) -> int:
+    """Hash a tuple of integers into one 64-bit value."""
+    value = 0
+    for part in parts:
+        value = _splitmix64(value ^ (part & _MASK))
+    return value
+
+
+class BusLink:
+    """One physical bus of the dual pair, with its own fault stream."""
+
+    def __init__(self, link_id: int, config: BusFaultConfig) -> None:
+        self.link_id = link_id
+        self.config = config
+        self.dead = False
+        #: Failed attempts since the last success (failover trigger).
+        self.consecutive_failures = 0
+        #: Total physical attempts carried (diagnostics only).
+        self.attempts = 0
+        self._key = _mix(config.seed, 0xB05, link_id)
+        self._draws = 0
+
+    def _uniform(self) -> float:
+        """Next value of the link's deterministic fault stream."""
+        self._draws += 1
+        return _mix(self._key, self._draws) / 2.0 ** 64
+
+    def judge(self) -> str:
+        """Outcome of the next physical attempt on this link."""
+        self.attempts += 1
+        draw = self._uniform()
+        config = self.config
+        if draw < config.loss_rate:
+            # Split losses between payload and acknowledgement with a
+            # second draw, so duplicate suppression is exercised without
+            # a separate configuration knob.
+            return LOSS if self._uniform() < 0.5 else ACK_LOSS
+        if draw < config.loss_rate + config.garble_rate:
+            return GARBLE
+        return OK
+
+
+class DualBusFaultLayer:
+    """Fault state shared by the two links: the active-link pointer,
+    per-source sequence numbers and receiver-side duplicate tables.
+
+    The bus installs one of these only when fault rates are nonzero;
+    with no layer installed the original perfect-channel fast path runs
+    untouched (byte-identical traces).
+    """
+
+    def __init__(self, config: BusFaultConfig) -> None:
+        self.config = config
+        self.links: Tuple[BusLink, BusLink] = (BusLink(0, config),
+                                               BusLink(1, config))
+        self.active = 0
+        self._next_seq: Dict[ClusterId, int] = {}
+        #: dst -> src -> highest sequence number delivered there.
+        self._seen: Dict[ClusterId, Dict[ClusterId, int]] = {}
+
+    @property
+    def active_link(self) -> BusLink:
+        return self.links[self.active]
+
+    @property
+    def degraded(self) -> bool:
+        """True once a link has been declared dead (single-bus mode)."""
+        return any(link.dead for link in self.links)
+
+    def next_seqno(self, src: ClusterId) -> int:
+        seq = self._next_seq.get(src, 0) + 1
+        self._next_seq[src] = seq
+        return seq
+
+    def record_success(self, link: BusLink) -> None:
+        link.consecutive_failures = 0
+
+    def record_failure(self, link: BusLink) -> None:
+        link.consecutive_failures += 1
+
+    def should_fail_over(self, link: BusLink, attempts_on_link: int) -> bool:
+        """Declare ``link`` suspect?  Never kills the last live link —
+        the final bus retries forever, so delivery stays guaranteed."""
+        if link.dead or self.links[1 - link.link_id].dead:
+            return False
+        return (link.consecutive_failures >= self.config.failover_threshold
+                or attempts_on_link >= self.config.retry_limit)
+
+    def fail_over(self, link: BusLink) -> BusLink:
+        """Kill ``link``, switch to its partner, return the new active."""
+        link.dead = True
+        self.active = 1 - link.link_id
+        return self.links[self.active]
+
+    def is_duplicate(self, dst: ClusterId, src: ClusterId,
+                     seqno: int) -> bool:
+        """Receiver-side suppression: has ``dst`` already accepted this
+        (src, seqno) transmission?  Records the seqno when new."""
+        seen = self._seen.setdefault(dst, {})
+        if seen.get(src, 0) >= seqno:
+            return True
+        seen[src] = seqno
+        return False
+
+    def backoff(self, attempt: int) -> int:
+        """Retransmission delay before attempt ``attempt + 1``
+        (exponential, capped at ``backoff_base << 10``)."""
+        return self.config.backoff_base << min(attempt - 1, 10)

@@ -92,6 +92,9 @@ class ClusterKernel:
         #: Hooks installed by the machine / recovery coordinator.
         self.on_exit: Optional[Callable[[Pid, int, ClusterId], None]] = None
         self.on_promote: Optional[Callable[[ProcessControlBlock], None]] = None
+        #: Unrecoverable hardware fault (e.g. both disk drives dead): the
+        #: machine converts it into a clean whole-cluster crash.
+        self.on_fatal: Optional[Callable[[ClusterId, str], None]] = None
         self.server_registry: Dict[Pid, Any] = {}   # pid -> server harness
         self._next_pid = 1
         self._next_chan = 1
@@ -339,6 +342,21 @@ class ClusterKernel:
     def halt(self) -> None:
         """The cluster crashed: freeze everything."""
         self.alive = False
+
+    def fatal_hardware(self, reason: str) -> None:
+        """Unrecoverable hardware under this kernel (both drives of a
+        mirrored disk dead, say): record it and hand the cluster to the
+        machine's fatal hook, which crashes it cleanly so the failure
+        travels the ordinary detector path."""
+        if not self.alive:
+            return
+        self.metrics.incr("kernel.fatal_hardware")
+        self.trace.emit(self.sim.now, "kernel.fatal",
+                        cluster=self.cluster_id, reason=reason)
+        if self.on_fatal is not None:
+            self.on_fatal(self.cluster_id, reason)
+        else:
+            self.halt()
 
     # ------------------------------------------------------------------
     # sending

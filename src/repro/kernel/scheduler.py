@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional, TYPE_CHECKING
 
+from ..hardware.disk import DiskError
 from ..hardware.processor import WorkProcessor
 from ..messages.payloads import EOFMarker, OpenReply
 from ..messages.routing import EntryStatus, PeerKind
@@ -348,7 +349,15 @@ class Scheduler:
         if handler is None:
             raise SchedulerError(
                 f"pid {pcb.pid}: unknown action {action!r}")
-        cost, rv = handler(kernel, pcb, action)
+        try:
+            cost, rv = handler(kernel, pcb, action)
+        except DiskError as error:
+            # Unrecoverable peripheral hardware (e.g. both mirrored
+            # drives dead).  Surface it as a clean whole-cluster crash
+            # through the detector path — never as an exception escaping
+            # the event loop.
+            kernel.fatal_hardware(str(error))
+            return
         pcb.regs["rv"] = rv
         if cost:
             self._charge(proc, pcb, cost, "privileged")

@@ -1,0 +1,305 @@
+"""Unit tests for the dual-bus transient-fault layer.
+
+Protocol-level behaviour is tested with *scripted* attempt outcomes
+(the links' judge functions replaced by fixed sequences), so each test
+pins one property exactly: retransmission after loss, duplicate
+suppression after ack loss, all-or-none under garble, failover after
+consecutive failures, the last-link survival rule, and clean aborts
+when the sender crashes mid-retry.  The deterministic hash stream and
+the zero-rate byte-identity guarantee get their own tests.
+"""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.config import BusFaultConfig, ConfigError
+from repro.hardware.bus import InterclusterBus
+from repro.hardware.buslink import (ACK_LOSS, BusLink, GARBLE, LOSS, OK,
+                                    DualBusFaultLayer)
+from repro.hardware.cluster import Cluster
+from repro.messages.message import Delivery, DeliveryRole, Message, MessageKind
+from repro.metrics import MetricSet
+from repro.sim import Simulator, TraceLog
+from repro.workloads import build_bank_workload
+
+
+class RecordingKernel:
+    def __init__(self):
+        self.deliveries = []
+
+    def handle_delivery(self, message, delivery, seqno):
+        self.deliveries.append((message.msg_id, delivery.role, seqno))
+
+    def halt(self):
+        pass
+
+
+def build(n=3, **fault_overrides):
+    sim = Simulator()
+    config = MachineConfig(n_clusters=n).validate()
+    metrics = MetricSet()
+    trace = TraceLog()
+    bus = InterclusterBus(sim, config.costs, metrics, trace)
+    fault_config = BusFaultConfig(loss_rate=0.5)  # enabled; judges are
+    for key, value in fault_overrides.items():    # scripted per test
+        setattr(fault_config, key, value)
+    bus.configure_faults(fault_config.validate())
+    clusters = [Cluster(i, config, sim, bus, metrics, trace)
+                for i in range(n)]
+    kernels = []
+    for cluster in clusters:
+        kernel = RecordingKernel()
+        cluster.kernel = kernel
+        kernels.append(kernel)
+    return sim, bus, clusters, kernels, metrics
+
+
+def script(link, outcomes):
+    """Replace a link's fault stream with a fixed outcome sequence
+    (OK forever once exhausted)."""
+    remaining = list(outcomes)
+
+    def judge():
+        link.attempts += 1
+        return remaining.pop(0) if remaining else OK
+
+    link.judge = judge
+
+
+def msg(msg_id, legs, size=64):
+    return Message(msg_id=msg_id, kind=MessageKind.DATA, src_pid=1,
+                   dst_pid=2, channel_id=5, payload="p", size_bytes=size,
+                   deliveries=tuple(legs))
+
+
+def leg(cluster, role=DeliveryRole.PRIMARY_DEST):
+    return Delivery(cluster, role, 2, 5)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+def test_fault_config_validation():
+    BusFaultConfig().validate()
+    BusFaultConfig(loss_rate=0.3, garble_rate=0.2).validate()
+    for bad in (BusFaultConfig(loss_rate=-0.1),
+                BusFaultConfig(garble_rate=1.0),
+                BusFaultConfig(loss_rate=0.6, garble_rate=0.5),
+                BusFaultConfig(loss_rate=0.1, retry_limit=0),
+                BusFaultConfig(loss_rate=0.1, backoff_base=0),
+                BusFaultConfig(loss_rate=0.1, failover_threshold=0)):
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+
+def test_disabled_config_installs_no_layer():
+    sim = Simulator()
+    bus = InterclusterBus(sim, MachineConfig().validate().costs,
+                          MetricSet(), TraceLog())
+    bus.configure_faults(BusFaultConfig())
+    assert bus.fault_layer is None
+    bus.configure_faults(BusFaultConfig(garble_rate=0.1))
+    assert bus.fault_layer is not None
+
+
+# ----------------------------------------------------------------------
+# the deterministic fault stream
+# ----------------------------------------------------------------------
+
+def _stream(link_id, config, n=50):
+    link = BusLink(link_id, config)
+    return [link.judge() for _ in range(n)]
+
+
+def test_judge_stream_is_deterministic_per_seed_and_link():
+    config = BusFaultConfig(loss_rate=0.3, garble_rate=0.2, seed=99)
+    first = _stream(0, config)
+    assert first == _stream(0, config)
+    assert first != _stream(1, config)
+    assert first != _stream(0, BusFaultConfig(loss_rate=0.3,
+                                              garble_rate=0.2, seed=100))
+
+
+def test_judge_rates_are_roughly_honoured():
+    config = BusFaultConfig(loss_rate=0.25, garble_rate=0.25, seed=7)
+    outcomes = _stream(0, config, n=4_000)
+    losses = sum(1 for o in outcomes if o in (LOSS, ACK_LOSS))
+    garbles = outcomes.count(GARBLE)
+    assert 0.20 < losses / len(outcomes) < 0.30
+    assert 0.20 < garbles / len(outcomes) < 0.30
+
+
+# ----------------------------------------------------------------------
+# the retransmission protocol (scripted outcomes)
+# ----------------------------------------------------------------------
+
+def test_loss_is_retransmitted_and_delivered_once():
+    sim, bus, clusters, kernels, metrics = build()
+    script(bus.fault_layer.links[0], [LOSS, OK])
+    clusters[0].send(msg(1, [leg(1)]))
+    sim.run()
+    assert [d[0] for d in kernels[1].deliveries] == [1]
+    assert metrics.counter("bus.transmissions") == 1
+    assert metrics.counter("bus.retransmissions") == 1
+    assert metrics.counter("bus.faults.loss") == 1
+    assert metrics.counter("bus.duplicates_suppressed") == 0
+
+
+def test_ack_loss_duplicate_is_suppressed_at_every_target():
+    sim, bus, clusters, kernels, metrics = build()
+    script(bus.fault_layer.links[0], [ACK_LOSS, OK])
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    sim.run()
+    # Both targets got the first (unacknowledged) attempt exactly once;
+    # the retransmitted copy was suppressed at each.
+    assert [d[0] for d in kernels[1].deliveries] == [1]
+    assert [d[0] for d in kernels[2].deliveries] == [1]
+    assert metrics.counter("bus.retransmissions") == 1
+    assert metrics.counter("bus.duplicates_suppressed") == 2
+
+
+def test_garble_delivers_to_nobody_all_or_none():
+    sim, bus, clusters, kernels, metrics = build()
+    script(bus.fault_layer.links[0], [GARBLE, OK])
+    clusters[0].send(msg(1, [leg(1), leg(2, DeliveryRole.DEST_BACKUP)]))
+    trace_times = []
+    sim.run()
+    # One garbled attempt: neither cluster saw a partial delivery; the
+    # retry delivered to both at one event time.
+    assert [d[0] for d in kernels[1].deliveries] == [1]
+    assert [d[0] for d in kernels[2].deliveries] == [1]
+    assert metrics.counter("bus.faults.garble") == 1
+    assert metrics.counter("bus.duplicates_suppressed") == 0
+
+
+def test_retry_chain_holds_the_bus_no_interleaving():
+    """A retrying transmission keeps the bus: a second cluster's message
+    queued during the retry chain arrives strictly after it, at every
+    shared destination."""
+    sim, bus, clusters, kernels, metrics = build()
+    script(bus.fault_layer.links[0], [LOSS, LOSS, OK])
+    clusters[0].send(msg(1, [leg(2)]))
+    clusters[1].send(msg(2, [leg(2)]))
+    sim.run()
+    assert [d[0] for d in kernels[2].deliveries] == [1, 2]
+    assert metrics.counter("bus.retransmissions") == 2
+
+
+def test_sequence_numbers_increment_per_source():
+    sim, bus, clusters, kernels, _ = build()
+    clusters[0].send(msg(1, [leg(1)]))
+    clusters[0].send(msg(2, [leg(1)]))
+    clusters[1].send(msg(3, [leg(2)]))
+    sim.run()
+    assert bus.fault_layer._next_seq[0] == 2
+    assert bus.fault_layer._next_seq[1] == 1
+
+
+def test_failover_after_consecutive_failures():
+    sim, bus, clusters, kernels, metrics = build(failover_threshold=3)
+    layer = bus.fault_layer
+    script(layer.links[0], [LOSS, LOSS, LOSS])
+    script(layer.links[1], [])
+    clusters[0].send(msg(1, [leg(1)]))
+    sim.run()
+    assert layer.links[0].dead
+    assert layer.active == 1
+    assert layer.degraded
+    assert metrics.counter("bus.failovers") == 1
+    assert [d[0] for d in kernels[1].deliveries] == [1]
+
+
+def test_retry_limit_exhaustion_forces_failover():
+    sim, bus, clusters, kernels, metrics = build(retry_limit=2,
+                                                 failover_threshold=10)
+    layer = bus.fault_layer
+    script(layer.links[0], [LOSS, GARBLE])   # 2 attempts = retry_limit
+    clusters[0].send(msg(1, [leg(1)]))
+    sim.run()
+    assert layer.links[0].dead
+    assert metrics.counter("bus.failovers") == 1
+    assert [d[0] for d in kernels[1].deliveries] == [1]
+
+
+def test_last_live_link_is_never_declared_dead():
+    sim, bus, clusters, kernels, metrics = build(failover_threshold=2)
+    layer = bus.fault_layer
+    script(layer.links[0], [LOSS, LOSS])          # link 0 dies
+    script(layer.links[1], [LOSS, LOSS, LOSS, LOSS, LOSS, OK])
+    clusters[0].send(msg(1, [leg(1)]))
+    sim.run()
+    assert layer.links[0].dead
+    assert not layer.links[1].dead                # survivor retries on
+    assert metrics.counter("bus.failovers") == 1
+    assert [d[0] for d in kernels[1].deliveries] == [1]
+
+
+def test_sender_crash_during_backoff_aborts_and_frees_bus():
+    sim, bus, clusters, kernels, metrics = build()
+    script(bus.fault_layer.links[0], [LOSS] * 50)
+    clusters[0].send(msg(1, [leg(1)]))
+    clusters[1].send(msg(2, [leg(2)]))
+    # First attempt completes at t=164 (dispatch 30 + latency 50 +
+    # 64 bytes); crash the sender inside the backoff window.
+    sim.call_at(250, lambda: clusters[0].crash())
+    sim.run()
+    assert metrics.counter("bus.aborted_transmissions") == 1
+    assert kernels[1].deliveries == []            # never delivered
+    assert [d[0] for d in kernels[2].deliveries] == [2]  # bus freed
+
+
+def test_faulted_abort_satisfies_retransmission_sanity():
+    """The stranded-retry arithmetic the invariant checks: a fault whose
+    retry was never sent is covered by the aborted transmission."""
+    sim, bus, clusters, kernels, metrics = build()
+    script(bus.fault_layer.links[0], [LOSS] * 50)
+    clusters[0].send(msg(1, [leg(1)]))
+    sim.call_at(250, lambda: clusters[0].crash())
+    sim.run()
+    faults = sum(metrics.counter(f"bus.faults.{kind}")
+                 for kind in ("loss", "ack_loss", "garble"))
+    stranded = faults - metrics.counter("bus.retransmissions")
+    assert 0 <= stranded <= metrics.counter("bus.aborted_transmissions")
+
+
+# ----------------------------------------------------------------------
+# the byte-identity guarantee (rates at zero)
+# ----------------------------------------------------------------------
+
+def _bank_machine(bus_faults=None):
+    config = MachineConfig(n_clusters=3, trace_enabled=True, seed=5)
+    if bus_faults is not None:
+        config.bus_faults = bus_faults
+    machine = Machine(config.validate())
+    build_bank_workload(machine, n_clients=2, txns_per_client=8,
+                        accounts=8, seed=5)
+    machine.run_until_idle(max_events=20_000_000)
+    return machine
+
+
+def test_zero_rates_keep_traces_byte_identical():
+    plain = _bank_machine()
+    gated = _bank_machine(BusFaultConfig())    # explicit, still disabled
+    assert plain.trace.dump() == gated.trace.dump()
+    assert plain.sim.events_executed == gated.sim.events_executed
+    assert gated.metrics.counter("bus.retransmissions") == 0
+    assert gated.bus.fault_layer is None
+
+
+def test_nonzero_rates_mask_faults_from_external_behaviour():
+    plain = _bank_machine()
+    degraded = _bank_machine(BusFaultConfig(loss_rate=0.15,
+                                            garble_rate=0.1, seed=9))
+    assert degraded.tty_output() == plain.tty_output()
+    assert sorted(degraded.exits.items()) == sorted(plain.exits.items())
+    faults = sum(degraded.metrics.counter(f"bus.faults.{kind}")
+                 for kind in ("loss", "ack_loss", "garble"))
+    assert faults > 0
+    assert degraded.metrics.counter("bus.retransmissions") == faults
+
+
+def test_degraded_runs_reproduce_byte_for_byte():
+    first = _bank_machine(BusFaultConfig(loss_rate=0.2, seed=3))
+    second = _bank_machine(BusFaultConfig(loss_rate=0.2, seed=3))
+    assert first.trace.dump() == second.trace.dump()

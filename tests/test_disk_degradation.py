@@ -1,0 +1,78 @@
+"""Mirrored-disk degradation (section 7.1).
+
+A :class:`MirroredDisk` survives any single drive failure: writes go to
+every live drive and reads fall back to the mirror, so a file workload
+crossing a mid-run ``fail_drive`` finishes exactly like the failure-free
+run.  Losing *both* drives is unmaskable — the paper's model has no
+third copy — and must surface as a clean whole-cluster crash through the
+detector path (``kernel.fatal`` -> crash handling), never as a raw
+``DiskError`` escaping the event loop.
+"""
+
+from repro.faults import FaultInjector
+from repro.workloads import FileWorkerProgram
+from tests.conftest import make_machine
+
+
+def run_workload(fail_drives=(), fail_at=6_000, **overrides):
+    machine = make_machine(trace=True, **overrides)
+    pid = machine.spawn(FileWorkerProgram(path="ledger", records=8,
+                                          tag="fw"), cluster=2)
+    injector = FaultInjector(machine)
+    for which in fail_drives:
+        injector.fail_drive_at("disk0", which, fail_at)
+    machine.run_until_idle(max_events=30_000_000)
+    return machine, pid, injector
+
+
+def test_single_drive_failure_is_masked():
+    baseline, base_pid, _ = run_workload()
+    machine, pid, injector = run_workload(fail_drives=(0,))
+    # The mirror keeps the workload correct and externally identical.
+    assert machine.exits[pid] == 0
+    assert machine.tty_output() == baseline.tty_output() == ["fw:PASS"]
+    assert [r.kind for r in injector.injected] == ["drive_fail"]
+    # Nothing fatal: no cluster crashed, the fs server kept running.
+    assert len(machine.trace.select("kernel.fatal")) == 0
+    assert all(cluster.alive for cluster in machine.clusters)
+
+
+def test_writes_after_single_failure_reach_surviving_mirror():
+    machine, pid, _ = run_workload(fail_drives=(1,), fail_at=2_000,
+                                   server_sync_requests=4)
+    assert machine.exits[pid] == 0
+    disk = machine.disks["disk0"]
+    assert disk._drives[1].failed and not disk._drives[0].failed
+    # The frequent server syncs flushed the shadow fs through the live
+    # drive: the ledger's blocks are durable on the surviving mirror.
+    assert disk._drives[0].block_count() > 0
+
+
+def test_double_drive_failure_is_a_clean_cluster_crash():
+    # Frequent server syncs force a flush — and thus a disk access —
+    # soon after both drives die.
+    machine, pid, injector = run_workload(fail_drives=(0, 1),
+                                          fail_at=4_000,
+                                          server_sync_requests=4)
+    # The run completed without an unhandled DiskError; the fs server's
+    # cluster hit fatal hardware and was crashed through the detector.
+    fatals = machine.trace.select("kernel.fatal")
+    assert len(fatals) >= 1
+    assert "disk" in fatals[0].detail["reason"]
+    assert fatals[0].detail["cluster"] == 0
+    assert machine.metrics.counter("kernel.fatal_hardware") >= 1
+    assert not machine.clusters[0].alive
+    assert len(machine.trace.select("crash.handling_begin")) >= 1
+    # The promoted fs backup reattaches the same dead disk, so cluster 1
+    # cascades to the same clean end state; the third cluster survives.
+    assert not machine.clusters[1].alive
+    assert machine.clusters[2].alive
+    assert [r.detail["cluster"] for r in fatals] == [0, 1]
+
+
+def test_double_failure_never_raises_out_of_the_loop():
+    # Even without tight sync thresholds the eventual flush/reload path
+    # must stay inside the machine: run_until_idle returns normally.
+    machine, pid, _ = run_workload(fail_drives=(0, 1), fail_at=1_000)
+    assert machine.sim.events_executed > 0
+    assert len(machine.trace.select("fault.inject")) == 2

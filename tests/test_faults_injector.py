@@ -142,3 +142,36 @@ def test_detach_disarms_unfired_triggers():
     machine.run_until_idle(max_events=20_000_000)
     assert injector.injected == []
     assert all(cluster.alive for cluster in machine.clusters)
+
+
+def test_detach_then_rearm_forgets_old_triggers():
+    """Regression: detach() used to keep the old _Armed entries, so a
+    detached-then-re-armed injector had its stale triggers counting
+    records again — and firing — alongside the new ones."""
+    machine = make_machine(trace=True)
+    machine.spawn(TtyWriterProgram(lines=20, tag="r", compute=2_000),
+                  cluster=0, sync_reads_threshold=3)
+    injector = FaultInjector(machine)
+    stale, fresh = [], []
+    injector.on(nth_sync(nth=1), lambda record: stale.append(record))
+    injector.detach()
+    assert injector._armed == []           # the fix: armed list cleared
+    injector.on(nth_sync(nth=2), lambda record: fresh.append(record))
+    machine.run_until_idle(max_events=20_000_000)
+    assert len(machine.trace.select("sync.primary")) >= 2
+    assert stale == []                     # old trigger never fires...
+    assert len(fresh) == 1                 # ...new one fires normally
+
+
+def test_fail_drive_at_records_and_masks():
+    machine = make_machine(trace=True)
+    machine.spawn(TtyWriterProgram(lines=5, tag="f", compute=1_000),
+                  cluster=0)
+    injector = FaultInjector(machine)
+    injector.fail_drive_at("disk0", 0, 3_000)
+    injector.fail_drive_at("disk0", 0, 4_000)   # already dead: no-op
+    machine.run_until_idle(max_events=20_000_000)
+    assert [(r.time, r.kind) for r in injector.injected] \
+        == [(3_000, "drive_fail")]
+    assert machine.disks["disk0"]._drives[0].failed
+    assert not machine.disks["disk0"]._drives[1].failed
