@@ -1,16 +1,18 @@
 """Wall-clock performance harness (``repro bench``)."""
 
-from .harness import (BenchError, BenchResult, WORKLOADS,
+from .harness import (BenchError, BenchResult, TIMERS, WORKLOADS,
                       compare_to_baseline, load_report, report_dict,
-                      run_suite, write_report)
+                      resolve_timer, run_suite, write_report)
 
 __all__ = [
     "BenchError",
     "BenchResult",
+    "TIMERS",
     "WORKLOADS",
     "compare_to_baseline",
     "load_report",
     "report_dict",
+    "resolve_timer",
     "run_suite",
     "write_report",
 ]

@@ -3,20 +3,28 @@
 The simulator is deterministic, so *what* a run computes never changes —
 but how fast the event loop turns over decides how large a fault-injection
 campaign or parameter sweep is practical.  This harness pins that down as
-a number: it runs a small set of canonical workloads, times them with
-``time.process_time()`` (immune to wall-clock noise from other processes),
-and reports events/sec, messages/sec and wall-clock seconds per workload.
+a number: it runs a small set of canonical workloads, times them, and
+reports events/sec, messages/sec and wall-clock seconds per workload.
 
 Methodology
 -----------
 
 * Each workload is built fresh for every round; only the event-loop run is
   timed, so machine construction never pollutes the throughput number.
+  For the parallel fault-campaign workload the *pool* is construction
+  too: workers are spawned and warmed before the first timed round.
 * Each round is preceded by a ``gc.collect()`` and the *minimum* over
-  rounds is reported: the minimum of a CPU-time measurement converges on
-  the true cost, while means smear scheduler and allocator noise in.
+  rounds is reported: the minimum converges on the true cost, while
+  means smear scheduler and allocator noise in.
 * Runs are deterministic, so every round executes the identical event
   sequence — rounds differ only in measurement noise.
+* Two timer modes.  Single-process workloads use ``time.process_time()``
+  (CPU time of this process — immune to wall-clock noise from other
+  processes).  That methodology is *blind to child processes*: a
+  campaign sharded across ``--jobs`` workers burns its CPU in children,
+  where ``process_time`` cannot see it, so multi-process workloads use
+  ``time.perf_counter()`` wall time instead.  ``timer="auto"`` picks
+  per workload; every report records which timer produced each number.
 
 ``repro bench`` (the CLI front end) writes the report to
 ``BENCH_core.json`` and can compare against a committed baseline, failing
@@ -51,8 +59,9 @@ class BenchResult:
     events: int               #: events executed per round (deterministic)
     messages: Optional[int]   #: bus transmissions (None when untracked)
     virtual_time: int         #: final virtual clock, ticks
-    wall_seconds: float       #: min CPU-seconds over rounds
+    wall_seconds: float       #: min seconds over rounds (see ``timer``)
     rounds: int
+    timer: str = "process"    #: "process" (CPU of this process) or "wall"
 
     @property
     def events_per_sec(self) -> float:
@@ -76,7 +85,26 @@ class BenchResult:
                                  if self.messages_per_sec is not None
                                  else None),
             "rounds": self.rounds,
+            "timer": self.timer,
         }
+
+
+#: timer-mode name -> clock callable.  ``process_time`` cannot observe
+#: CPU burned in child processes; anything multi-process must use wall.
+TIMERS: Dict[str, Callable[[], float]] = {
+    "process": time.process_time,
+    "wall": time.perf_counter,
+}
+
+
+def resolve_timer(timer: str, multiprocess: bool) -> str:
+    """``auto`` picks the right clock for the workload's process shape."""
+    if timer == "auto":
+        return "wall" if multiprocess else "process"
+    if timer not in TIMERS:
+        raise BenchError(f"unknown timer {timer!r}; "
+                         f"choose from {sorted(TIMERS)} or 'auto'")
+    return timer
 
 
 # -- canonical workloads -----------------------------------------------------
@@ -114,15 +142,18 @@ def _build_memory_churn(quick: bool) -> Tuple[Machine, Callable[[], None]]:
 
 def _measure_machine(build: Callable[[bool], Tuple[Machine,
                                                    Callable[[], None]]],
-                     name: str, quick: bool, rounds: int) -> BenchResult:
+                     name: str, quick: bool, rounds: int,
+                     timer: str = "auto", **_ignored) -> BenchResult:
+    timer = resolve_timer(timer, multiprocess=False)
+    clock = TIMERS[timer]
     best: Optional[float] = None
     machine: Optional[Machine] = None
     for _ in range(rounds):
         machine, run = build(quick)
         gc.collect()
-        start = time.process_time()
+        start = clock()
         run()
-        elapsed = time.process_time() - start
+        elapsed = clock() - start
         if best is None or elapsed < best:
             best = elapsed
     assert machine is not None and best is not None
@@ -132,51 +163,87 @@ def _measure_machine(build: Callable[[bool], Tuple[Machine,
         messages=machine.metrics.counter("bus.transmissions"),
         virtual_time=machine.sim.now,
         wall_seconds=best,
-        rounds=rounds)
+        rounds=rounds,
+        timer=timer)
 
 
-def _measure_campaign(quick: bool, rounds: int) -> BenchResult:
+def _measure_campaign(quick: bool, rounds: int, timer: str = "auto",
+                      jobs: int = 1,
+                      cache_dir: Optional[str] = None) -> BenchResult:
+    from ..exec.pool import CampaignPool, resolve_jobs
     from ..faults import run_campaign
 
     seeds = range(3) if quick else range(10)
-    best: Optional[float] = None
-    report = None
-    for _ in range(rounds):
-        gc.collect()
-        start = time.process_time()
-        report = run_campaign(seeds, n_clusters=3)
-        elapsed = time.process_time() - start
-        if best is None or elapsed < best:
-            best = elapsed
+    jobs = resolve_jobs(jobs)
+    jobs = min(jobs, len(seeds))
+    timer = resolve_timer(timer, multiprocess=jobs > 1)
+    if jobs > 1 and timer == "process":
+        raise BenchError("process timer cannot see child-process work; "
+                         "use --timer wall (or auto) with --jobs > 1")
+    clock = TIMERS[timer]
+    pool: Optional[CampaignPool] = None
+    if jobs > 1:
+        # The pool is construction, not workload: spawn and warm the
+        # workers before the first timed round.
+        pool = CampaignPool(jobs=jobs, n_clusters=3, cache_dir=cache_dir)
+        pool.warm()
+    try:
+        best: Optional[float] = None
+        report = None
+        for _ in range(rounds):
+            gc.collect()
+            start = clock()
+            if pool is not None:
+                report = pool.run(seeds)
+            else:
+                report = run_campaign(seeds, n_clusters=3,
+                                      cache_dir=cache_dir)
+            elapsed = clock() - start
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if pool is not None:
+            pool.close()
     assert report is not None and best is not None
     # The campaign builds and runs one machine per seed (plus failure-free
-    # baselines); per-seed results record faulted-run events, which is the
-    # throughput-relevant share.  Bus transmissions are not aggregated
-    # across seeds, so messages/sec is not reported here.
+    # references); per-seed results record faulted-run events, end times
+    # and bus transmissions, which aggregate into campaign-wide
+    # events/sec and messages/sec.
     return BenchResult(
         name="fault-campaign",
         events=sum(result.events for result in report.results),
-        messages=None,
-        virtual_time=0,
+        messages=sum(result.transmissions for result in report.results),
+        virtual_time=sum(result.end_time for result in report.results),
         wall_seconds=best,
-        rounds=rounds)
+        rounds=rounds,
+        timer=timer)
 
 
-#: name -> measurement callable(quick, rounds); ordered as reported.
-WORKLOADS: Dict[str, Callable[[bool, int], BenchResult]] = {
-    "oltp": lambda quick, rounds: _measure_machine(
-        _build_oltp, "oltp", quick, rounds),
-    "pipeline": lambda quick, rounds: _measure_machine(
-        _build_pipeline, "pipeline", quick, rounds),
-    "memory-churn": lambda quick, rounds: _measure_machine(
-        _build_memory_churn, "memory-churn", quick, rounds),
+#: name -> measurement callable(quick, rounds, **options); options are
+#: ``timer`` (all workloads), ``jobs``/``cache_dir`` (campaign only).
+#: Ordered as reported.
+WORKLOADS: Dict[str, Callable[..., BenchResult]] = {
+    "oltp": lambda quick, rounds, **options: _measure_machine(
+        _build_oltp, "oltp", quick, rounds, **options),
+    "pipeline": lambda quick, rounds, **options: _measure_machine(
+        _build_pipeline, "pipeline", quick, rounds, **options),
+    "memory-churn": lambda quick, rounds, **options: _measure_machine(
+        _build_memory_churn, "memory-churn", quick, rounds, **options),
     "fault-campaign": _measure_campaign,
 }
 
 
 def run_suite(quick: bool = False, rounds: Optional[int] = None,
-              workloads: Optional[List[str]] = None) -> List[BenchResult]:
-    """Measure every requested workload; defaults to all of them."""
+              workloads: Optional[List[str]] = None,
+              timer: str = "auto", jobs: int = 1,
+              cache_dir: Optional[str] = None) -> List[BenchResult]:
+    """Measure every requested workload; defaults to all of them.
+
+    ``jobs``/``cache_dir`` parameterize the fault-campaign workload's
+    parallel execution engine (``0`` jobs = one worker per CPU);
+    ``timer="auto"`` times single-process workloads with
+    ``process_time`` and multi-process ones with wall clock.
+    """
     names = list(WORKLOADS) if workloads is None else workloads
     effective_rounds = rounds if rounds is not None else (2 if quick else 5)
     results = []
@@ -185,7 +252,11 @@ def run_suite(quick: bool = False, rounds: Optional[int] = None,
         if measure is None:
             raise BenchError(f"unknown workload {name!r}; "
                              f"choose from {sorted(WORKLOADS)}")
-        results.append(measure(quick, effective_rounds))
+        options = {"timer": timer}
+        if name == "fault-campaign":
+            options["jobs"] = jobs
+            options["cache_dir"] = cache_dir
+        results.append(measure(quick, effective_rounds, **options))
     return results
 
 

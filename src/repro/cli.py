@@ -10,11 +10,13 @@ Commands:
 * ``campaign``  — a seeded fault-injection sweep: N scenarios with
   crashes at schedule-driven and semantic trigger points, invariant
   checks after each, pass/fail + recovery-latency aggregation, optional
-  JSON report (see ``docs/faults.md``).
+  JSON report; ``--jobs`` shards seeds across a process pool and
+  ``--cache-dir`` memoizes failure-free reference runs (see
+  ``docs/faults.md``).
 * ``bench``     — wall-clock throughput over the canonical workloads
   (events/sec, messages/sec); writes ``BENCH_core.json`` and can fail
-  on regression against a committed baseline (see
-  ``docs/performance.md``).
+  on regression against a committed baseline; ``--jobs``/``--timer``
+  cover the parallel campaign engine (see ``docs/performance.md``).
 
 Every command accepts ``--clusters N`` and ``--seed S`` where meaningful.
 """
@@ -119,9 +121,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     loss_rate = args.loss_rate if args.loss_rate is not None else None
     garble_rate = (args.garble_rate if args.garble_rate is not None
                    else None)
+    cache_dir = args.cache_dir or None
     seeds = range(args.base_seed, args.base_seed + args.seeds)
     report = run_campaign(seeds, n_clusters=args.clusters, kinds=kinds,
-                          loss_rate=loss_rate, garble_rate=garble_rate)
+                          loss_rate=loss_rate, garble_rate=garble_rate,
+                          jobs=args.jobs, cache_dir=cache_dir)
     rows = []
     for result in report.results:
         latencies = result.recovery_latencies
@@ -144,16 +148,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     pooled = report.pooled_recovery_latencies()
     print(f"\n{report.passed}/{len(report.results)} scenarios passed; "
           f"fault classes covered: {report.kinds_covered()}")
+    print(f"executed with {report.jobs} worker(s)"
+          + (f"; reference cache: {report.cache_hits} hits / "
+             f"{report.cache_misses} misses in {cache_dir}"
+             if cache_dir else ""))
     if pooled:
         print(f"recovery latency over {len(pooled)} crash handlings: "
               f"min={min(pooled)} mean={sum(pooled) / len(pooled):.0f} "
               f"max={max(pooled)} ticks")
 
+    cache = None
+    if cache_dir:
+        from .exec.refcache import ReferenceCache
+        cache = ReferenceCache(cache_dir)
     verified = True
     for seed in seeds[:args.verify]:
         digest = report.results[seed - args.base_seed].digest
         redo = run_seed(seed, n_clusters=args.clusters, kinds=kinds,
-                        loss_rate=loss_rate, garble_rate=garble_rate)
+                        loss_rate=loss_rate, garble_rate=garble_rate,
+                        cache=cache)
         same = redo.digest == digest
         verified &= same
         print(f"determinism: seed {seed} re-run trace "
@@ -181,7 +194,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     workloads = args.workloads.split(",") if args.workloads else None
     results = run_suite(quick=args.quick, rounds=args.rounds,
-                        workloads=workloads)
+                        workloads=workloads, timer=args.timer,
+                        jobs=args.jobs, cache_dir=args.cache_dir or None)
     rows = []
     for result in results:
         mps = result.messages_per_sec
@@ -189,9 +203,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             result.name, result.events, f"{result.wall_seconds:.4f}",
             f"{result.events_per_sec:,.0f}",
             f"{mps:,.0f}" if mps is not None else "-",
+            result.timer,
         ])
     print(format_table(
-        ["workload", "events", "wall (s)", "events/sec", "messages/sec"],
+        ["workload", "events", "wall (s)", "events/sec", "messages/sec",
+         "timer"],
         rows, title="Core throughput"
               + (" (--quick)" if args.quick else "")))
     if args.json:
@@ -244,6 +260,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     campaign.add_argument("--garble-rate", type=float, default=None,
                           help="bus garble rate laid under every "
                                "scenario")
+    campaign.add_argument("--jobs", type=int, default=0,
+                          help="worker processes for the sweep "
+                               "(default 0 = one per CPU; 1 = serial)")
+    campaign.add_argument("--cache-dir", type=str, default="",
+                          help="directory memoizing failure-free "
+                               "reference runs across seeds, workers "
+                               "and invocations")
     campaign.set_defaults(fn=cmd_campaign)
     bench = sub.add_parser("bench")
     bench.add_argument("--quick", action="store_true",
@@ -258,6 +281,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="compare events/sec against this report")
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="allowed fractional events/sec drop vs baseline")
+    bench.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for the fault-campaign "
+                            "workload (default 0 = one per CPU; "
+                            "1 = serial)")
+    bench.add_argument("--cache-dir", type=str, default="",
+                       help="reference-cache directory for the "
+                            "fault-campaign workload")
+    bench.add_argument("--timer", choices=("auto", "process", "wall"),
+                       default="auto",
+                       help="auto = process_time, except wall clock for "
+                            "multi-process workloads (child CPU is "
+                            "invisible to process_time)")
     bench.set_defaults(fn=cmd_bench)
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,27 @@
+"""Scenario-parallel campaign execution (see ``docs/performance.md``).
+
+The simulator itself stays single-threaded and deterministic — one
+scenario is one seed is one event sequence.  What *does* scale with
+cores is the campaign driver: independent seeds shard across a
+spawn-safe process pool (:class:`CampaignPool`), and a deterministic
+ordered merge reassembles the aggregated report so it is byte-identical
+to a serial run regardless of worker count or completion order.
+
+Orthogonally, :class:`ReferenceCache` memoizes failure-free reference
+runs on disk, keyed by a content hash of (workload recipe, machine
+shape, event budget, code-version stamp): seeds that stratify to the
+same workload — and every re-run of the same sweep — pay for one
+reference run instead of N.
+"""
+
+from .pool import CampaignPool, resolve_jobs, run_campaign_parallel
+from .refcache import ReferenceCache, code_stamp, reference_observable
+
+__all__ = [
+    "CampaignPool",
+    "ReferenceCache",
+    "code_stamp",
+    "reference_observable",
+    "resolve_jobs",
+    "run_campaign_parallel",
+]

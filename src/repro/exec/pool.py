@@ -1,0 +1,161 @@
+"""A spawn-safe process pool that shards campaign seeds across workers.
+
+Parallelism lives strictly *between* scenarios: each worker runs whole
+seeds through the ordinary single-threaded, deterministic simulator, so
+no simulator state is ever shared and per-seed results are bit-for-bit
+the results a serial run produces.  Determinism of the *aggregate* then
+reduces to merge order, which is handled the simple way: results are
+collected per seed and reassembled in the campaign's seed order, so the
+final :class:`~repro.faults.campaign.CampaignReport` is byte-identical
+to a serial run regardless of worker count or completion order.
+
+The pool uses the ``spawn`` start method explicitly — workers begin
+from a fresh interpreter and import this module by name, so the engine
+behaves identically on every platform and can never fork a half-warm
+parent (RNG state, open trace listeners, pytest capture machinery).
+Workers persist across seeds; each one holds a lazily initialized
+:class:`~repro.exec.refcache.ReferenceCache` handle on the shared cache
+directory, so failure-free references memoize *across* workers through
+the filesystem (atomic writes make the races benign).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..faults.campaign import MAX_EVENTS, CampaignReport, run_seed
+from .refcache import ReferenceCache
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``None``/``0`` means one worker per CPU; never below one."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+# -- worker side -------------------------------------------------------
+#
+# One initializer call per worker process; module-level state because
+# spawn-started workers import this module fresh and share nothing.
+
+_worker_params: Dict[str, Any] = {}
+_worker_cache: Optional[ReferenceCache] = None
+
+
+def _init_worker(params: Dict[str, Any]) -> None:
+    global _worker_params, _worker_cache
+    _worker_params = params
+    cache_dir = params.get("cache_dir")
+    _worker_cache = ReferenceCache(cache_dir) if cache_dir else None
+
+
+def _warmup(delay: float) -> int:
+    """Occupies a worker briefly so pool spin-up can be forced before
+    any timed work; returns the worker pid for liveness accounting."""
+    time.sleep(delay)
+    return os.getpid()
+
+
+def _run_one(seed: int):
+    """Run one scenario in this worker; returns the result plus this
+    call's reference-cache hit/miss deltas."""
+    params, cache = _worker_params, _worker_cache
+    hits = misses = 0
+    if cache is not None:
+        hits, misses = cache.hits, cache.misses
+    result = run_seed(seed,
+                      n_clusters=params["n_clusters"],
+                      max_events=params["max_events"],
+                      kinds=params["kinds"],
+                      loss_rate=params["loss_rate"],
+                      garble_rate=params["garble_rate"],
+                      cache=cache)
+    if cache is not None:
+        hits, misses = cache.hits - hits, cache.misses - misses
+    return result, hits, misses
+
+
+# -- driver side -------------------------------------------------------
+
+
+class CampaignPool:
+    """A persistent worker pool for repeated campaign sweeps.
+
+    Create once (pool spin-up costs a fresh interpreter per worker),
+    :meth:`warm` it if the next ``run`` is being timed, then
+    :meth:`run` any number of seed sweeps.  Use as a context manager
+    or call :meth:`close`.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, n_clusters: int = 3,
+                 max_events: int = MAX_EVENTS,
+                 kinds: Optional[Sequence[str]] = None,
+                 loss_rate: Optional[float] = None,
+                 garble_rate: Optional[float] = None,
+                 cache_dir: Optional[str] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.n_clusters = n_clusters
+        params = {
+            "n_clusters": n_clusters,
+            "max_events": max_events,
+            "kinds": tuple(kinds) if kinds else None,
+            "loss_rate": loss_rate,
+            "garble_rate": garble_rate,
+            "cache_dir": cache_dir,
+        }
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=get_context("spawn"),
+            initializer=_init_worker, initargs=(params,))
+
+    def warm(self, delay: float = 0.05) -> None:
+        """Spin every worker up (interpreter start + imports) before
+        timed work; concurrent sleeps spread the tasks across workers."""
+        futures = [self._executor.submit(_warmup, delay)
+                   for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
+
+    def run(self, seeds: Sequence[int]) -> CampaignReport:
+        """Run every seed across the pool; the report's result list is
+        merged in seed order, so it is byte-identical to a serial run."""
+        futures: List[Future] = [self._executor.submit(_run_one, seed)
+                                 for seed in seeds]
+        report = CampaignReport(n_clusters=self.n_clusters,
+                                jobs=self.jobs)
+        for future in futures:  # submission order == seed order
+            result, hits, misses = future.result()
+            report.results.append(result)
+            report.cache_hits += hits
+            report.cache_misses += misses
+        return report
+
+    def close(self) -> None:
+        self._executor.shutdown()
+
+    def __enter__(self) -> "CampaignPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_campaign_parallel(seeds: Sequence[int], n_clusters: int = 3,
+                          max_events: int = MAX_EVENTS,
+                          kinds: Optional[Sequence[str]] = None,
+                          loss_rate: Optional[float] = None,
+                          garble_rate: Optional[float] = None,
+                          jobs: Optional[int] = None,
+                          cache_dir: Optional[str] = None
+                          ) -> CampaignReport:
+    """One-shot convenience: pool up, run the sweep, tear down."""
+    with CampaignPool(jobs=jobs, n_clusters=n_clusters,
+                      max_events=max_events, kinds=kinds,
+                      loss_rate=loss_rate, garble_rate=garble_rate,
+                      cache_dir=cache_dir) as pool:
+        return pool.run(seeds)

@@ -7,7 +7,8 @@ Public surface:
 * trigger constructors ``nth_sync`` / ``nth_transmission`` /
   ``recovery_begin`` / ``nth_promotion``;
 * :func:`run_seed` / :func:`run_campaign` — seeded scenario sweeps with
-  invariant checking;
+  invariant checking; ``run_campaign(jobs=N, cache_dir=D)`` shards seeds
+  across the :mod:`repro.exec` process pool with byte-identical results;
 * :func:`check_scenario` — the invariant battery on its own.
 """
 

@@ -31,17 +31,20 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..config import BusFaultConfig, MachineConfig
 from ..core.machine import Machine
 from ..sim.events import SimulationError
 from ..sim.rng import DeterministicRNG
 from ..types import Pid
-from ..workloads.generator import generate_scenario
+from ..workloads.generator import generate_scenario, observable
 from .injector import (FaultInjector, nth_sync, nth_transmission,
                        recovery_begin)
 from .invariants import check_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - the exec package imports us
+    from ..exec.refcache import ReferenceCache
 
 #: The fault classes a campaign draws from, in stratification order.
 #: The original six keep their positions so historical seed -> scenario
@@ -370,13 +373,18 @@ def run_seed(seed: int, n_clusters: int = 3,
              tail_lines: int = 40,
              kinds: Optional[Sequence[str]] = None,
              loss_rate: Optional[float] = None,
-             garble_rate: Optional[float] = None) -> ScenarioResult:
+             garble_rate: Optional[float] = None,
+             cache: Optional["ReferenceCache"] = None) -> ScenarioResult:
     """Run one complete scenario: generate, run failure-free, run
     faulted, check invariants.
 
     ``kinds`` restricts the stratification cycle to a subset of
     :data:`FAULT_KINDS`; ``loss_rate``/``garble_rate`` lay a degraded
-    bus under the faulted run regardless of the plan's kind.
+    bus under the faulted run regardless of the plan's kind.  ``cache``
+    memoizes the failure-free reference observable on disk
+    (:class:`repro.exec.refcache.ReferenceCache`) — a hit skips the
+    reference run entirely and cannot change any verdict, because the
+    observable is all the invariants consume from the reference.
     """
     root = DeterministicRNG(seed)
     workload_rng = root.fork("workload")
@@ -386,7 +394,11 @@ def run_seed(seed: int, n_clusters: int = 3,
     plan = build_plan(fault_rng, kind, n_clusters)
     scenario = generate_scenario(workload_rng.seed, n_clusters=n_clusters)
 
-    baseline = scenario.run(max_events=max_events)
+    if cache is not None:
+        from ..exec.refcache import reference_observable
+        baseline = reference_observable(scenario, max_events, cache)
+    else:
+        baseline = observable(scenario.run(max_events=max_events))
 
     faulted = Machine(plan_machine_config(plan, n_clusters, seed,
                                           loss_rate=loss_rate,
@@ -434,10 +446,19 @@ def run_seed(seed: int, n_clusters: int = 3,
 
 @dataclass
 class CampaignReport:
-    """Aggregated outcome of a seed sweep."""
+    """Aggregated outcome of a seed sweep.
+
+    ``jobs`` and the reference-cache counters describe *how* the sweep
+    executed; they are deliberately excluded from :meth:`as_dict`, so
+    the serialized report stays byte-identical across serial, parallel
+    and warm-cache runs of the same seeds (the determinism gate).
+    """
 
     n_clusters: int
     results: List[ScenarioResult] = field(default_factory=list)
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def passed(self) -> int:
@@ -488,14 +509,41 @@ def run_campaign(seeds: Sequence[int], n_clusters: int = 3,
                  max_events: int = MAX_EVENTS,
                  kinds: Optional[Sequence[str]] = None,
                  loss_rate: Optional[float] = None,
-                 garble_rate: Optional[float] = None) -> CampaignReport:
-    """Run every seed and aggregate."""
+                 garble_rate: Optional[float] = None,
+                 jobs: int = 1,
+                 cache_dir: Optional[str] = None) -> CampaignReport:
+    """Run every seed and aggregate.
+
+    ``jobs`` > 1 shards the seeds across a spawn-safe process pool
+    (``0``/``None`` means one worker per CPU); the merged report is
+    byte-identical to a serial run (:mod:`repro.exec.pool`).
+    ``cache_dir`` memoizes failure-free reference runs on disk, shared
+    across workers and across invocations.
+    """
+    if not jobs:
+        from ..exec.pool import resolve_jobs
+        jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(seeds) > 1:
+        from ..exec.pool import run_campaign_parallel
+        return run_campaign_parallel(seeds, n_clusters=n_clusters,
+                                     max_events=max_events, kinds=kinds,
+                                     loss_rate=loss_rate,
+                                     garble_rate=garble_rate, jobs=jobs,
+                                     cache_dir=cache_dir)
+    cache = None
+    if cache_dir:
+        from ..exec.refcache import ReferenceCache
+        cache = ReferenceCache(cache_dir)
     report = CampaignReport(n_clusters=n_clusters)
     for seed in seeds:
         report.results.append(run_seed(seed, n_clusters=n_clusters,
                                        max_events=max_events, kinds=kinds,
                                        loss_rate=loss_rate,
-                                       garble_rate=garble_rate))
+                                       garble_rate=garble_rate,
+                                       cache=cache))
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
     return report
 
 

@@ -25,7 +25,7 @@ stalled ready queue), and the metric counters must agree with the trace
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..core.machine import Machine
 from ..kernel.pcb import ProcState
@@ -34,11 +34,19 @@ from ..workloads.generator import observable
 Observable = Tuple[Dict[str, List[str]], tuple]
 
 
-def check_scenario(baseline: Machine, faulted: Machine,
+def check_scenario(baseline: Union[Machine, Observable], faulted: Machine,
                    survivable: bool, injected_crashes: int) -> List[str]:
-    """Run every checker; returns the combined violation list."""
+    """Run every checker; returns the combined violation list.
+
+    ``baseline`` is either the failure-free reference :class:`Machine`
+    or its precomputed observable — the form the reference cache
+    (:mod:`repro.exec.refcache`) stores, since the observable is all the
+    external-behaviour check ever consumes.
+    """
+    expected = (observable(baseline) if isinstance(baseline, Machine)
+                else baseline)
     violations: List[str] = []
-    violations += check_external_behaviour(observable(baseline),
+    violations += check_external_behaviour(expected,
                                            observable(faulted), survivable)
     violations += check_all_runnable(faulted, survivable)
     violations += check_metrics_sanity(faulted, injected_crashes)

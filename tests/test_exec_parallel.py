@@ -1,0 +1,95 @@
+"""Determinism gate for the parallel campaign engine: the same seed
+sweep run serial, with 2 workers, and with 8 workers must produce
+identical per-seed trace digests and invariant verdicts — and so must a
+second run against a warm reference cache."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.exec import CampaignPool, resolve_jobs
+from repro.faults import run_campaign
+
+SEEDS = range(6)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_campaign(SEEDS)
+
+
+def fingerprint(report):
+    """Everything the gate compares: digests, verdicts, violations —
+    via the full serialized report, which excludes execution shape."""
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+def test_two_workers_match_serial_byte_for_byte(serial_report, tmp_path):
+    parallel = run_campaign(SEEDS, jobs=2, cache_dir=str(tmp_path))
+    assert parallel.jobs == 2
+    assert [r.digest for r in parallel.results] == \
+        [r.digest for r in serial_report.results]
+    assert [r.passed for r in parallel.results] == \
+        [r.passed for r in serial_report.results]
+    assert fingerprint(parallel) == fingerprint(serial_report)
+    # Cold cache: one reference run per distinct workload, zero hits.
+    assert parallel.cache_misses == len(list(SEEDS))
+    assert parallel.cache_hits == 0
+
+    warm = run_campaign(SEEDS, jobs=2, cache_dir=str(tmp_path))
+    assert fingerprint(warm) == fingerprint(serial_report)
+    assert warm.cache_hits == len(list(SEEDS))
+    assert warm.cache_misses == 0
+
+
+def test_eight_workers_match_serial_byte_for_byte(serial_report):
+    parallel = run_campaign(SEEDS, jobs=8)
+    assert parallel.jobs == 8
+    assert fingerprint(parallel) == fingerprint(serial_report)
+
+
+def test_pool_reuse_and_merge_order(serial_report):
+    """One pool, several sweeps: results always merge in seed order,
+    independent of which worker finishes first."""
+    with CampaignPool(jobs=2) as pool:
+        first = pool.run(SEEDS)
+        again = pool.run(SEEDS)
+        reversed_submit = pool.run(list(SEEDS)[::-1])
+    assert fingerprint(first) == fingerprint(serial_report)
+    assert fingerprint(again) == fingerprint(serial_report)
+    assert [r.seed for r in reversed_submit.results] == list(SEEDS)[::-1]
+    assert {r.seed: r.digest for r in reversed_submit.results} == \
+        {r.seed: r.digest for r in serial_report.results}
+
+
+def test_resolve_jobs_defaults_to_cpu_count():
+    import os
+    assert resolve_jobs(None) == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(-2) == 1
+
+
+def test_single_seed_sweep_stays_serial(tmp_path):
+    """A one-seed campaign never pays for a pool."""
+    report = run_campaign(range(1), jobs=4, cache_dir=str(tmp_path))
+    assert report.jobs == 1
+    assert report.cache_misses == 1
+
+
+def test_campaign_cli_parallel_end_to_end(tmp_path, capsys):
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    cache_dir = tmp_path / "refs"
+    assert cli.main(["campaign", "--seeds", "4", "--jobs", "1",
+                     "--verify", "0", "--json", str(serial_path)]) == 0
+    assert cli.main(["campaign", "--seeds", "4", "--jobs", "2",
+                     "--verify", "1", "--cache-dir", str(cache_dir),
+                     "--json", str(parallel_path)]) == 0
+    out = capsys.readouterr().out
+    assert "executed with 2 worker(s)" in out
+    assert "matches byte-for-byte" in out
+    # The serialized reports are byte-identical: the artifact a CI job
+    # diffs against its serial twin.
+    assert serial_path.read_text() == parallel_path.read_text()

@@ -1,0 +1,159 @@
+"""Reference-cache correctness: hits are byte-identical to live runs,
+and a poisoned/stale entry is detected and falls back to a live
+reference run rather than corrupting verdicts."""
+
+import json
+import os
+
+from repro.exec.refcache import (ReferenceCache, SCHEMA, code_stamp,
+                                 reference_observable)
+from repro.faults.campaign import MAX_EVENTS, run_seed
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.generator import generate_scenario
+
+OBSERVABLE = ({"w0": ["w0: line 1", "w0: line 2"], "pp1": ["pp1: ok"]},
+              (0, 0, 1))
+
+
+def entry_path(cache):
+    files = [name for name in os.listdir(cache.directory)
+             if name.endswith(".json")]
+    assert len(files) == 1
+    return os.path.join(cache.directory, files[0])
+
+
+# ----------------------------------------------------------------------
+# the cache as a store
+# ----------------------------------------------------------------------
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    cache.put("k" * 64, OBSERVABLE)
+    assert cache.get("k" * 64) == OBSERVABLE
+    assert (cache.hits, cache.misses) == (1, 0)
+    assert cache.get("absent" * 8) is None
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_key_covers_workload_machine_and_budget(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    scenario = generate_scenario(17, n_clusters=3)
+    other = generate_scenario(18, n_clusters=3)
+    wider = generate_scenario(17, n_clusters=4)
+    key = cache.scenario_key(scenario, MAX_EVENTS)
+    assert key == cache.scenario_key(scenario, MAX_EVENTS)  # stable
+    assert key != cache.scenario_key(other, MAX_EVENTS)     # workload
+    assert key != cache.scenario_key(wider, MAX_EVENTS)     # machine
+    assert key != cache.scenario_key(scenario, 1_000)       # budget
+
+
+def test_reference_observable_caches_and_reuses(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    scenario = generate_scenario(17, n_clusters=3)
+    first = reference_observable(scenario, MAX_EVENTS, cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    second = reference_observable(scenario, MAX_EVENTS, cache)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert first == second
+    assert reference_observable(scenario, MAX_EVENTS, None) == first
+
+
+# ----------------------------------------------------------------------
+# poisoned and stale entries fall back to live runs
+# ----------------------------------------------------------------------
+
+def poison(path, mutate):
+    with open(path) as handle:
+        entry = json.load(handle)
+    mutate(entry)
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    cache.put("k" * 64, OBSERVABLE)
+    path = entry_path(cache)
+    with open(path) as handle:
+        content = handle.read()
+    with open(path, "w") as handle:
+        handle.write(content[:len(content) // 2])
+    assert cache.get("k" * 64) is None
+    assert cache.misses == 1
+
+
+def test_stale_code_stamp_is_a_miss(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    cache.put("k" * 64, OBSERVABLE)
+    poison(entry_path(cache), lambda e: e.update(stamp="deadbeef00"))
+    assert cache.get("k" * 64) is None
+    assert cache.poisoned == 1
+
+
+def test_tampered_payload_fails_checksum(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    cache.put("k" * 64, OBSERVABLE)
+    poison(entry_path(cache),
+           lambda e: e["payload"]["exits"].append(7))
+    assert cache.get("k" * 64) is None
+    assert cache.poisoned == 1
+
+
+def test_wrong_schema_or_key_is_a_miss(tmp_path):
+    cache = ReferenceCache(str(tmp_path))
+    cache.put("k" * 64, OBSERVABLE)
+    poison(entry_path(cache), lambda e: e.update(schema="bogus/9"))
+    assert cache.get("k" * 64) is None
+    cache.put("k" * 64, OBSERVABLE)
+    # An entry renamed onto the wrong key must not serve that key.
+    os.replace(entry_path(cache),
+               os.path.join(str(tmp_path), "f" * 64 + ".json"))
+    assert cache.get("f" * 64) is None
+
+
+# ----------------------------------------------------------------------
+# end to end: verdicts survive any cache state
+# ----------------------------------------------------------------------
+
+def test_poisoned_cache_cannot_corrupt_verdicts(tmp_path):
+    cache_dir = str(tmp_path / "refs")
+    reference = run_seed(0)                     # no cache: ground truth
+
+    cold = run_seed(0, cache=ReferenceCache(cache_dir))
+    assert cold.as_dict() == reference.as_dict()
+
+    # Poison the single entry three ways; every run must fall back to a
+    # live reference and reproduce the ground-truth result exactly.
+    cache = ReferenceCache(cache_dir)
+    path = entry_path(cache)
+
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    broken = ReferenceCache(cache_dir)
+    assert run_seed(0, cache=broken).as_dict() == reference.as_dict()
+    assert broken.hits == 0 and broken.misses == 1
+    # ... and the fallback repaired the entry in passing.
+    repaired = ReferenceCache(cache_dir)
+    assert run_seed(0, cache=repaired).as_dict() == reference.as_dict()
+    assert repaired.hits == 1
+
+    poison(path, lambda e: e.update(stamp="deadbeef00"))
+    stale = ReferenceCache(cache_dir)
+    assert run_seed(0, cache=stale).as_dict() == reference.as_dict()
+    assert stale.poisoned == 1
+
+    # A tampered observable with a recomputed checksum is the worst
+    # case: it validates structurally, so the *stamp+check* pair is the
+    # defence — forge both and the cache will serve it, which is why the
+    # stamp covers every source file of the simulator.  Here: tamper
+    # payload only, checksum catches it.
+    poison(path, lambda e: e["payload"]["tags"].clear())
+    tampered = ReferenceCache(cache_dir)
+    assert run_seed(0, cache=tampered).as_dict() == reference.as_dict()
+    assert tampered.poisoned == 1
+
+
+def test_code_stamp_is_stable_and_entry_schema_pinned():
+    assert code_stamp() == code_stamp()
+    assert len(code_stamp()) == 16
+    assert SCHEMA == "repro-refcache/1"
