@@ -239,6 +239,7 @@ class LegacyMetricSet:
         self._counters: Dict[str, int] = defaultdict(int)
         self._samples: Dict[str, List[int]] = defaultdict(list)
         self._busy: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._hists: Dict[str, Any] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         self._counters[name] += amount
@@ -263,6 +264,23 @@ class LegacyMetricSet:
             return None
         return IntervalStats(count=len(samples), total=sum(samples),
                              minimum=min(samples), maximum=max(samples))
+
+    def record_hist(self, name: str, value: int) -> None:
+        # Signature shim for the current kernel's latency/queue-depth
+        # telemetry (histograms post-date the legacy core; they never
+        # touch traces, so A/B byte-identity is unaffected).
+        hist = self._hists.get(name)
+        if hist is None:
+            from repro.metrics import LogHistogram
+            hist = self._hists[name] = LogHistogram()
+        hist.record(value)
+
+    def histogram(self, name: str):
+        return self._hists.get(name)
+
+    def histograms(self, prefix: str = "") -> Dict[str, Any]:
+        return {name: hist for name, hist in self._hists.items()
+                if name.startswith(prefix)}
 
     def add_busy(self, resource: str, activity: str, ticks: int) -> None:
         self._busy[(resource, activity)] += ticks

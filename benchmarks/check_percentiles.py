@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI gate: latency percentiles must be present and non-null.
+
+Validates either artifact kind:
+
+* A ``BENCH_core.json`` produced by ``repro bench`` — every workload
+  that serves requests (oltp, pipeline, fault-campaign) must carry a
+  ``latency.request.p99``, and the ``latency_under_fault`` section, if
+  present, must have a non-null p99 per fault regime.
+* A campaign report JSON produced by ``repro campaign --json`` — the
+  aggregate ``latency.request.p99`` and the per-fault-kind p99 curve
+  must be present and non-null.
+
+``--extract out.json`` additionally writes a compact
+percentiles-only JSON, the artifact the degraded-bus CI matrix
+uploads.  Exits 1 with a per-field message on any failure.
+
+Usage::
+
+    python benchmarks/check_percentiles.py BENCH_core.json
+    python benchmarks/check_percentiles.py campaign.json --extract p99.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+#: Required latency series per bench workload.  oltp and the fault
+#: campaign serve Send/reply round trips ("request"); the pipeline
+#: streams items (its per-item latency is the read wait).  memory-churn
+#: has no steady message traffic, so it is deliberately absent.
+REQUIRED_SERIES = {
+    "oltp": ("request",),
+    "pipeline": ("read_wait", "queue_wait"),
+    "fault-campaign": ("request",),
+}
+PERCENTILE_FIELDS = ("p50", "p90", "p99")
+
+
+def _check_summary(summary: Any, where: str, errors: List[str]) -> None:
+    if not isinstance(summary, dict):
+        errors.append(f"{where}: missing latency summary")
+        return
+    for field in PERCENTILE_FIELDS:
+        if summary.get(field) is None:
+            errors.append(f"{where}: {field} is missing or null")
+    if not summary.get("count"):
+        errors.append(f"{where}: sample count is zero")
+
+
+def check_bench(data: Dict[str, Any], errors: List[str]
+                ) -> Dict[str, Any]:
+    extracted: Dict[str, Any] = {"kind": "bench"}
+    workloads = data.get("workloads", {})
+    for name, series_names in REQUIRED_SERIES.items():
+        workload = workloads.get(name)
+        if workload is None:
+            errors.append(f"workloads.{name}: missing")
+            continue
+        latency = workload.get("latency") or {}
+        extracted[name] = {}
+        for series in series_names:
+            _check_summary(latency.get(series),
+                           f"workloads.{name}.latency.{series}", errors)
+            extracted[name][series] = latency.get(series)
+    fault = data.get("latency_under_fault")
+    if fault is not None:
+        curves = {}
+        for regime, entry in sorted(fault.get("regimes", {}).items()):
+            _check_summary(entry.get("request"),
+                           f"latency_under_fault.{regime}.request",
+                           errors)
+            curves[regime] = (entry.get("request") or {}).get("p99")
+        extracted["latency_under_fault_p99"] = curves
+    return extracted
+
+
+def check_campaign(data: Dict[str, Any], errors: List[str]
+                   ) -> Dict[str, Any]:
+    latency = data.get("latency") or {}
+    _check_summary(latency.get("request"), "latency.request", errors)
+    by_kind = latency.get("request_p99_by_kind")
+    if not by_kind:
+        errors.append("latency.request_p99_by_kind: missing or empty")
+        by_kind = {}
+    else:
+        for kind, p99 in sorted(by_kind.items()):
+            if p99 is None:
+                errors.append(
+                    f"latency.request_p99_by_kind.{kind}: null")
+    return {"kind": "campaign",
+            "request": latency.get("request"),
+            "request_p99_by_kind": by_kind}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_core.json or a campaign "
+                                       "report JSON")
+    parser.add_argument("--extract", metavar="OUT",
+                        help="write a compact percentiles-only JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.report) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"check_percentiles: cannot read {args.report}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    errors: List[str] = []
+    if "workloads" in data:
+        extracted = check_bench(data, errors)
+    elif "results" in data or "latency" in data:
+        extracted = check_campaign(data, errors)
+    else:
+        print(f"check_percentiles: {args.report} is neither a bench "
+              f"nor a campaign report", file=sys.stderr)
+        return 1
+
+    if args.extract:
+        extracted["source"] = args.report
+        with open(args.extract, "w") as handle:
+            json.dump(extracted, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if errors:
+        for error in errors:
+            print(f"check_percentiles: {error}", file=sys.stderr)
+        print(f"check_percentiles: FAIL ({len(errors)} problem(s) in "
+              f"{args.report})", file=sys.stderr)
+        return 1
+    print(f"check_percentiles: OK ({args.report})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -201,10 +201,37 @@ COMMENTARY = {
         " outcomes and verdicts — regardless of worker count or"
         " completion order; the warm run hits the reference cache on"
         " every seed.  The ≥ 2× wall-clock speedup (serial vs"
-        " `--jobs 4`, cold cache) is asserted on ≥ 4-core hosts;"
-        " single-core hosts still verify determinism and record the"
-        " cache's own speedup.  Numbers land in `BENCH_core.json` under"
+        " `--jobs 4`, cold cache) is asserted on ≥ 4-core hosts."
+        "  Worker counts clamp to the CPU count, and one effective"
+        " worker degrades to an in-process serial run with no pool"
+        " spawned — on a 1-core host the recorded speedup is 1.0 by"
+        " construction (`degraded_to_serial` in the JSON), the measured"
+        " serial/degraded wall ratio is asserted ≥ 0.9 (the guard that"
+        " caught `--jobs 4` running 0.85× serial speed on one core),"
+        " and determinism plus the cache's own speedup are still"
+        " verified.  Numbers land in `BENCH_core.json` under"
         " `parallel_campaign`."),
+    "F4": (
+        "## F4 — latency under fault: request percentiles through"
+        " crash recovery and bus degradation",
+        "**Paper claim (section 8):** fault tolerance is affordable"
+        " because its cost hides off the critical path.  F1–F3 price"
+        " that in throughput; F4 prices it where production systems"
+        " feel it — the request-latency distribution.  The OLTP bank"
+        " workload runs under escalating fault regimes; every"
+        " Send→reply round trip feeds a streaming log-spaced histogram"
+        " (`repro.metrics`, ≤3.125% relative error, exact deterministic"
+        " merge) and each regime reports p50/p90/p99 in virtual ticks"
+        " (`repro campaign` prints the same curve per fault kind;"
+        " see `docs/faults.md`):",
+        "**Shape check:** the *median* is untouched by a crash — p50"
+        " under crash-rollforward equals the failure-free p50 to the"
+        " tick, while p99 absorbs the whole recovery stall (>10× the"
+        " failure-free p99).  p99 escalates monotonically with regime"
+        " severity (clean < degraded bus < crash ≤ crash on a degraded"
+        " bus), and every regime still delivers exactly one reply per"
+        " transaction — the latency *is* the whole price.  Curves land"
+        " in `BENCH_core.json` under `latency_under_fault`."),
     "F2": (
         "## F2 — seeded fault-injection campaign (sections 7.8–7.10)",
         "**Why random timing?**  The grid experiments crash clusters at"
@@ -302,6 +329,7 @@ SUMMARY = """
 | E13 | each mechanism is load-bearing | ablations hang clients / inflate money |
 | F2 | recovery survives any single-failure timing | all seeded scenarios pass |
 | F3 | dual bus masks transient bus faults | identical output at every loss rate |
+| F4 | FT cost hides off the critical path | crash leaves p50 untouched; p99 pays |
 | P1 | (infrastructure) simulator-core fast path | ≥1.3× events/sec, byte-identical traces |
 | P2 | (infrastructure) parallel campaign engine | ≥2× on ≥4 cores, byte-identical reports |
 """
@@ -342,7 +370,8 @@ def capture_tables() -> dict:
 
 def main() -> None:
     tables = capture_tables()
-    order = [f"E{i}" for i in range(1, 14)] + ["F2", "F3", "P1", "P2"]
+    order = [f"E{i}" for i in range(1, 14)] + ["F2", "F3", "F4", "P1",
+                                               "P2"]
     missing = [tag for tag in order if tag not in tables]
     if missing:
         raise SystemExit(f"missing experiment tables: {missing}")

@@ -19,6 +19,13 @@ Methodology notes:
 * Every timed parallel round gets a **fresh, cold cache directory**, so
   the recorded speedup is execution speedup, not cache reuse; the warm
   run is timed separately to quantify the cache on its own.
+* Worker counts are clamped to the CPU count, and one effective worker
+  degrades to an in-process serial run (no pool) — the fix for the
+  measured 1-core slowdown, where ``--jobs 4`` ran 0.85× serial speed.
+  On a 1-core host the recorded ``speedup`` is therefore 1.0 by
+  construction (identical code path), ``degraded_to_serial`` is set,
+  and the *measured* serial/"parallel" ratio is asserted ≥ 0.9 — the
+  regression guard that would have caught the original bug.
 * The ≥ 2× assertion is enforced only on ≥ 4-core hosts (this container
   may have fewer); digest equality and the cache hit rate are asserted
   everywhere, and every measurement is recorded in ``BENCH_core.json``
@@ -32,7 +39,7 @@ import json
 import os
 import time
 
-from repro.exec import CampaignPool
+from repro.exec import CampaignPool, resolve_jobs
 from repro.faults import run_campaign
 from repro.metrics import format_table
 
@@ -40,10 +47,15 @@ from conftest import run_once
 
 N_SEEDS = 24
 CPUS = os.cpu_count() or 1
-#: Four workers where the acceptance threshold applies; never fewer
-#: than two, so the pool machinery is always exercised.
+#: Four workers requested where the acceptance threshold applies; never
+#: fewer than two, so the clamp-and-degrade path is always exercised.
 JOBS = 4 if CPUS >= 4 else 2
+JOBS_EFFECTIVE = resolve_jobs(JOBS)
+DEGRADED = JOBS_EFFECTIVE == 1
 THRESHOLD = 2.0
+#: Degraded mode measures two identical serial executions; the ratio
+#: must stay ~1.0 (a pool sneaking back in would drag it below).
+DEGRADED_FLOOR = 0.9
 ROUNDS_SERIAL = 3
 ROUNDS_PARALLEL = 2
 EXTRA_ROUNDS = 4    # noise guard: extend only while below threshold
@@ -62,6 +74,7 @@ def timed_parallel(cache_dir: str) -> tuple:
     """One parallel sweep against a cold cache; pool spin-up untimed."""
     with CampaignPool(jobs=JOBS, n_clusters=3,
                       cache_dir=cache_dir) as pool:
+        assert pool.degraded == DEGRADED
         pool.warm()
         gc.collect()
         start = time.perf_counter()
@@ -110,7 +123,8 @@ def test_p2_parallel_campaign(benchmark, table_printer, tmp_path):
     assert serial.failed == 0
 
     # Cache accounting: the cold sweep computed every reference live,
-    # the warm sweep found every one of them.
+    # the warm sweep found every one of them.  Holds in degraded mode
+    # too — the in-process path reports per-sweep cache deltas.
     assert parallel.cache_hits == 0
     assert parallel.cache_misses == N_SEEDS
     assert warm.cache_hits == N_SEEDS
@@ -118,40 +132,58 @@ def test_p2_parallel_campaign(benchmark, table_printer, tmp_path):
     hit_rate = warm.cache_hits / (warm.cache_hits + warm.cache_misses)
 
     # Noise guard, as in P1: deterministic runs mean extra rounds only
-    # tighten minima.  Only worth paying for where the threshold binds.
+    # tighten minima.  Only worth paying for where an assertion binds:
+    # the 2× threshold on ≥ 4 cores, the ~1.0 ratio floor when degraded.
     extra = 0
-    while (CPUS >= 4 and t_serial / t_parallel < THRESHOLD
-           and extra < EXTRA_ROUNDS):
+    while extra < EXTRA_ROUNDS:
+        ratio = t_serial / t_parallel
+        if DEGRADED:
+            if ratio >= DEGRADED_FLOOR:
+                break
+        elif CPUS < 4 or ratio >= THRESHOLD:
+            break
         _, t_serial2, _, _, t_parallel2, t_warm2 = measure(tmp_path, 1)
         t_serial = min(t_serial, t_serial2)
         t_parallel = min(t_parallel, t_parallel2)
         t_warm = min(t_warm, t_warm2)
         extra += 1
 
-    speedup = t_serial / t_parallel
+    measured_ratio = t_serial / t_parallel
+    # Degraded mode runs the identical serial code path twice: report
+    # speedup 1.0 by construction, keep the raw ratio as the guard.
+    speedup = 1.0 if DEGRADED else measured_ratio
     warm_speedup = t_serial / t_warm
+    mode = (f"--jobs {JOBS} (degraded to serial)" if DEGRADED
+            else f"--jobs {JOBS} -> {JOBS_EFFECTIVE} worker(s)")
     table_printer(format_table(
         ["execution", "wall (s)", "speedup", "cache"],
         [["serial", f"{t_serial:.3f}", "1.00x", "-"],
-         [f"parallel --jobs {JOBS} (cold)", f"{t_parallel:.3f}",
+         [f"{mode} (cold)", f"{t_parallel:.3f}",
           f"{speedup:.2f}x", f"{parallel.cache_misses} misses"],
-         [f"parallel --jobs {JOBS} (warm)", f"{t_warm:.3f}",
+         [f"{mode} (warm)", f"{t_warm:.3f}",
           f"{warm_speedup:.2f}x",
           f"{warm.cache_hits} hits ({hit_rate * 100:.0f}%)"]],
         title=f"P2: parallel campaign, {N_SEEDS} seeds on {CPUS} CPUs "
               f"(byte-identical reports, min of "
               f"{ROUNDS_SERIAL + extra} wall-clock rounds)"))
 
-    _record(t_serial, t_parallel, t_warm, speedup, hit_rate)
+    _record(t_serial, t_parallel, t_warm, speedup, measured_ratio,
+            hit_rate)
     assert hit_rate > 0.0
-    if CPUS >= 4:
+    if DEGRADED:
+        assert measured_ratio >= DEGRADED_FLOOR, (
+            f"degraded --jobs {JOBS} run measured {measured_ratio:.2f}x "
+            f"serial speed on {CPUS} CPU(s) — the in-process path must "
+            f"not cost more than serial (floor {DEGRADED_FLOOR}x)")
+    elif CPUS >= 4:
         assert speedup >= THRESHOLD, (
             f"parallel speedup {speedup:.2f}x below required "
             f"{THRESHOLD}x on {CPUS} CPUs "
             f"(serial {t_serial:.3f}s vs --jobs {JOBS} {t_parallel:.3f}s)")
 
 
-def _record(t_serial, t_parallel, t_warm, speedup, hit_rate) -> None:
+def _record(t_serial, t_parallel, t_warm, speedup, measured_ratio,
+            hit_rate) -> None:
     """Merge the P2 numbers into BENCH_core.json next to the repo root
     (creating it if ``repro bench`` has not run yet)."""
     path = os.path.join(os.path.dirname(os.path.dirname(
@@ -167,12 +199,15 @@ def _record(t_serial, t_parallel, t_warm, speedup, hit_rate) -> None:
     data["parallel_campaign"] = {
         "workload": f"fault-campaign ({N_SEEDS} seeds, 3 clusters)",
         "cpu_count": CPUS,
-        "jobs": JOBS,
+        "jobs_requested": JOBS,
+        "jobs_effective": JOBS_EFFECTIVE,
+        "degraded_to_serial": DEGRADED,
         "serial_wall_seconds": round(t_serial, 6),
         "parallel_wall_seconds": round(t_parallel, 6),
         "speedup": round(speedup, 3),
+        "measured_ratio": round(measured_ratio, 3),
         "speedup_threshold": THRESHOLD,
-        "threshold_enforced": CPUS >= 4,
+        "threshold_enforced": not DEGRADED and CPUS >= 4,
         "reference_cache": {
             "warm_wall_seconds": round(t_warm, 6),
             "warm_hit_rate": round(hit_rate, 3),

@@ -62,6 +62,14 @@ class BenchResult:
     wall_seconds: float       #: min seconds over rounds (see ``timer``)
     rounds: int
     timer: str = "process"    #: "process" (CPU of this process) or "wall"
+    #: Virtual-tick latency digests per series (``request`` /
+    #: ``read_wait`` / ``queue_wait`` -> count/mean/p50/p90/p99/max);
+    #: deterministic, so identical every round.
+    latency: Dict[str, Dict[str, object]] = None  # type: ignore[assignment]
+    #: Worker accounting for jobs-capable workloads (None elsewhere):
+    #: what was asked for (0 = auto) vs what ran after the CPU clamp.
+    jobs_requested: Optional[int] = None
+    jobs_effective: Optional[int] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -74,7 +82,7 @@ class BenchResult:
         return self.messages / self.wall_seconds
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "name": self.name,
             "events": self.events,
             "messages": self.messages,
@@ -86,7 +94,12 @@ class BenchResult:
                                  else None),
             "rounds": self.rounds,
             "timer": self.timer,
+            "latency": self.latency or {},
         }
+        if self.jobs_effective is not None:
+            out["jobs_requested"] = self.jobs_requested
+            out["jobs_effective"] = self.jobs_effective
+        return out
 
 
 #: timer-mode name -> clock callable.  ``process_time`` cannot observe
@@ -140,6 +153,19 @@ def _build_memory_churn(quick: bool) -> Tuple[Machine, Callable[[], None]]:
     return machine, lambda: machine.run_until_idle(max_events=30_000_000)
 
 
+def _latency_summaries(metrics) -> Dict[str, Dict[str, object]]:
+    """Per-series latency digests from a machine's histograms (virtual
+    ticks; empty series omitted)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for key, name in (("request", "latency.request"),
+                      ("read_wait", "latency.read_wait"),
+                      ("queue_wait", "latency.queue_wait")):
+        hist = metrics.histogram(name)
+        if hist is not None and hist.count:
+            out[key] = hist.summary()
+    return out
+
+
 def _measure_machine(build: Callable[[bool], Tuple[Machine,
                                                    Callable[[], None]]],
                      name: str, quick: bool, rounds: int,
@@ -164,7 +190,8 @@ def _measure_machine(build: Callable[[bool], Tuple[Machine,
         virtual_time=machine.sim.now,
         wall_seconds=best,
         rounds=rounds,
-        timer=timer)
+        timer=timer,
+        latency=_latency_summaries(machine.metrics))
 
 
 def _measure_campaign(quick: bool, rounds: int, timer: str = "auto",
@@ -174,9 +201,14 @@ def _measure_campaign(quick: bool, rounds: int, timer: str = "auto",
     from ..faults import run_campaign
 
     seeds = range(3) if quick else range(10)
+    jobs_requested = jobs
     jobs = resolve_jobs(jobs)
     jobs = min(jobs, len(seeds))
-    timer = resolve_timer(timer, multiprocess=jobs > 1)
+    # The campaign is a jobs-capable workload, so ``auto`` always means
+    # wall clock here — even when the effective job count degrades to
+    # one, so the recorded number stays comparable across hosts and the
+    # timer column states the clock actually used.
+    timer = resolve_timer(timer, multiprocess=True)
     if jobs > 1 and timer == "process":
         raise BenchError("process timer cannot see child-process work; "
                          "use --timer wall (or auto) with --jobs > 1")
@@ -209,6 +241,11 @@ def _measure_campaign(quick: bool, rounds: int, timer: str = "auto",
     # references); per-seed results record faulted-run events, end times
     # and bus transmissions, which aggregate into campaign-wide
     # events/sec and messages/sec.
+    latency = {}
+    summary = report.latency_summary()
+    for key in ("request", "read_wait", "queue_wait"):
+        if summary.get(key):
+            latency[key] = summary[key]
     return BenchResult(
         name="fault-campaign",
         events=sum(result.events for result in report.results),
@@ -216,7 +253,10 @@ def _measure_campaign(quick: bool, rounds: int, timer: str = "auto",
         virtual_time=sum(result.end_time for result in report.results),
         wall_seconds=best,
         rounds=rounds,
-        timer=timer)
+        timer=timer,
+        latency=latency,
+        jobs_requested=jobs_requested,
+        jobs_effective=jobs)
 
 
 #: name -> measurement callable(quick, rounds, **options); options are

@@ -148,7 +148,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     pooled = report.pooled_recovery_latencies()
     print(f"\n{report.passed}/{len(report.results)} scenarios passed; "
           f"fault classes covered: {report.kinds_covered()}")
-    print(f"executed with {report.jobs} worker(s)"
+    requested = report.jobs_requested
+    clamp_note = (f" (requested {requested}, clamped to the CPU count)"
+                  if requested and requested != report.jobs else "")
+    print(f"executed with {report.jobs} worker(s){clamp_note}"
           + (f"; reference cache: {report.cache_hits} hits / "
              f"{report.cache_misses} misses in {cache_dir}"
              if cache_dir else ""))
@@ -156,6 +159,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"recovery latency over {len(pooled)} crash handlings: "
               f"min={min(pooled)} mean={sum(pooled) / len(pooled):.0f} "
               f"max={max(pooled)} ticks")
+    latency = report.latency_summary()
+    request = latency.get("request")
+    if request:
+        print(f"request latency under fault over {request['count']} "
+              f"round trips: p50={request['p50']} p90={request['p90']} "
+              f"p99={request['p99']} max={request['max']} ticks")
+        curve = latency.get("request_p99_by_kind") or {}
+        points = ", ".join(f"{kind}={p99}" for kind, p99 in curve.items()
+                           if p99 is not None)
+        if points:
+            print(f"request p99 by fault kind: {points}")
+    queue_wait = latency.get("queue_wait")
+    if queue_wait:
+        print(f"queue wait over {queue_wait['count']} consumed messages: "
+              f"p50={queue_wait['p50']} p99={queue_wait['p99']} ticks")
 
     cache = None
     if cache_dir:
@@ -199,17 +217,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     rows = []
     for result in results:
         mps = result.messages_per_sec
+        latency = result.latency or {}
+        series = latency.get("request") or latency.get("read_wait")
         rows.append([
             result.name, result.events, f"{result.wall_seconds:.4f}",
             f"{result.events_per_sec:,.0f}",
             f"{mps:,.0f}" if mps is not None else "-",
+            f"{series['p50']}/{series['p99']}" if series else "-",
             result.timer,
         ])
     print(format_table(
         ["workload", "events", "wall (s)", "events/sec", "messages/sec",
-         "timer"],
+         "p50/p99 (ticks)", "timer"],
         rows, title="Core throughput"
               + (" (--quick)" if args.quick else "")))
+    campaign = next((r for r in results if r.jobs_effective is not None),
+                    None)
+    if campaign is not None and campaign.jobs_requested \
+            and campaign.jobs_requested != campaign.jobs_effective:
+        print(f"fault-campaign: requested --jobs "
+              f"{campaign.jobs_requested}, ran with "
+              f"{campaign.jobs_effective} worker(s) after the CPU clamp")
     if args.json:
         write_report(results, args.json, quick=args.quick)
         print(f"report written to {args.json}")

@@ -157,6 +157,18 @@ class MachineConfig:
     #: production use.
     ablate_dest_backup_save: bool = False   # drop DEST_BACKUP copies (5.1)
     ablate_send_suppression: bool = False   # ignore write counts (5.4)
+    #: Queue-based load leveling at server inboxes (off by default).
+    #: With a limit set, a server routing entry holds at most this many
+    #: queued requests; arrivals beyond it are handled per
+    #: ``server_inbox_policy``.  ``None`` keeps the original unbounded
+    #: behaviour byte-identical.
+    server_inbox_limit: Optional[int] = None
+    #: What to do with arrivals past the limit: ``"defer"`` parks them
+    #: in arrival order and admits one per consume (lossless
+    #: backpressure); ``"shed"`` drops them at the primary (lossy — the
+    #: backup's saved copy survives, so shedding is an experiment knob,
+    #: not a production mode; see docs/performance.md).
+    server_inbox_policy: str = "defer"
     #: Transient-fault model for the dual bus (off by default; see
     #: :class:`BusFaultConfig`).  The machine stays free of runtime
     #: randomness — fault outcomes come from a seeded hash stream.
@@ -183,6 +195,13 @@ class MachineConfig:
             raise ConfigError("page geometry must be positive")
         if self.poll_interval < 1:
             raise ConfigError("poll_interval must be >= 1")
+        if self.server_inbox_limit is not None \
+                and self.server_inbox_limit < 1:
+            raise ConfigError("server_inbox_limit must be >= 1 (or None)")
+        if self.server_inbox_policy not in ("defer", "shed"):
+            raise ConfigError(
+                f"server_inbox_policy must be 'defer' or 'shed', "
+                f"got {self.server_inbox_policy!r}")
         self.bus_faults.validate()
         return self
 

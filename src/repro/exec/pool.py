@@ -32,10 +32,20 @@ from .refcache import ReferenceCache
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """``None``/``0`` means one worker per CPU; never below one."""
+    """``None``/``0`` means one worker per CPU; explicit requests are
+    clamped to the CPU count (never below one).
+
+    The clamp is the fix for the measured 1-core slowdown: workers
+    beyond the core count add spawn and scheduling cost while the one
+    core still executes every seed serially — ``--jobs 4`` on a 1-core
+    box used to run *slower* than ``--jobs 1``.  An effective count of
+    one makes :class:`CampaignPool` degrade to an in-process serial run
+    (no pool is spawned at all).
+    """
+    cpus = os.cpu_count() or 1
     if not jobs:
-        return os.cpu_count() or 1
-    return max(1, jobs)
+        return cpus
+    return max(1, min(jobs, cpus))
 
 
 # -- worker side -------------------------------------------------------
@@ -98,6 +108,7 @@ class CampaignPool:
                  loss_rate: Optional[float] = None,
                  garble_rate: Optional[float] = None,
                  cache_dir: Optional[str] = None) -> None:
+        self.jobs_requested = jobs
         self.jobs = resolve_jobs(jobs)
         self.n_clusters = n_clusters
         params = {
@@ -108,14 +119,34 @@ class CampaignPool:
             "garble_rate": garble_rate,
             "cache_dir": cache_dir,
         }
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=get_context("spawn"),
-            initializer=_init_worker, initargs=(params,))
+        self._params = params
+        if self.jobs == 1:
+            # Degraded mode: one effective worker means a pool would be
+            # pure overhead (spawn, pickling, scheduling) for a serial
+            # execution — run seeds in-process instead, the identical
+            # code path a jobs=1 serial campaign takes.
+            self._executor = None
+            self._cache = (ReferenceCache(cache_dir) if cache_dir
+                           else None)
+        else:
+            self._cache = None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=get_context("spawn"),
+                initializer=_init_worker, initargs=(params,))
+
+    @property
+    def degraded(self) -> bool:
+        """True when the pool auto-degraded to an in-process serial run
+        (effective jobs == 1); no worker processes exist."""
+        return self._executor is None
 
     def warm(self, delay: float = 0.05) -> None:
         """Spin every worker up (interpreter start + imports) before
-        timed work; concurrent sleeps spread the tasks across workers."""
+        timed work; concurrent sleeps spread the tasks across workers.
+        A no-op in degraded mode — there is nothing to spin up."""
+        if self._executor is None:
+            return
         futures = [self._executor.submit(_warmup, delay)
                    for _ in range(self.jobs)]
         for future in futures:
@@ -124,10 +155,13 @@ class CampaignPool:
     def run(self, seeds: Sequence[int]) -> CampaignReport:
         """Run every seed across the pool; the report's result list is
         merged in seed order, so it is byte-identical to a serial run."""
+        if self._executor is None:
+            return self._run_serial(seeds)
         futures: List[Future] = [self._executor.submit(_run_one, seed)
                                  for seed in seeds]
         report = CampaignReport(n_clusters=self.n_clusters,
-                                jobs=self.jobs)
+                                jobs=self.jobs,
+                                jobs_requested=self.jobs_requested)
         for future in futures:  # submission order == seed order
             result, hits, misses = future.result()
             report.results.append(result)
@@ -135,8 +169,32 @@ class CampaignPool:
             report.cache_misses += misses
         return report
 
+    def _run_serial(self, seeds: Sequence[int]) -> CampaignReport:
+        """The degraded path: every seed in this process, same cache
+        semantics, same merge order — byte-identical output."""
+        params, cache = self._params, self._cache
+        report = CampaignReport(n_clusters=self.n_clusters, jobs=1,
+                                jobs_requested=self.jobs_requested)
+        hits = misses = 0
+        if cache is not None:
+            # The cache handle persists across run() calls (matching the
+            # pooled workers); report this sweep's deltas, not lifetime
+            # totals.
+            hits, misses = cache.hits, cache.misses
+        for seed in seeds:
+            report.results.append(run_seed(
+                seed, n_clusters=params["n_clusters"],
+                max_events=params["max_events"], kinds=params["kinds"],
+                loss_rate=params["loss_rate"],
+                garble_rate=params["garble_rate"], cache=cache))
+        if cache is not None:
+            report.cache_hits = cache.hits - hits
+            report.cache_misses = cache.misses - misses
+        return report
+
     def close(self) -> None:
-        self._executor.shutdown()
+        if self._executor is not None:
+            self._executor.shutdown()
 
     def __enter__(self) -> "CampaignPool":
         return self

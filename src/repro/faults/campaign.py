@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..config import BusFaultConfig, MachineConfig
 from ..core.machine import Machine
+from ..metrics.histogram import LogHistogram
 from ..sim.events import SimulationError
 from ..sim.rng import DeterministicRNG
 from ..types import Pid
@@ -305,6 +306,12 @@ class ScenarioResult:
     #: several): planned aim point, whether it was delivered, and when.
     fault_outcomes: List[Dict[str, Any]] = field(default_factory=list)
     recovery_latencies: List[int] = field(default_factory=list)
+    #: Latency histograms of the *faulted* run, serialized
+    #: (:meth:`~repro.metrics.histogram.LogHistogram.as_dict`) — keys
+    #: ``request`` / ``queue_wait`` / ``read_wait``.  Deterministic per
+    #: seed, so reports carrying them stay byte-identical across
+    #: serial, parallel and cached executions.
+    latency: Dict[str, Any] = field(default_factory=dict)
     trace_tail: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -322,7 +329,25 @@ class ScenarioResult:
             "failovers": self.failovers,
             "fault_outcomes": self.fault_outcomes,
             "recovery_latencies": self.recovery_latencies,
+            "latency": self.latency,
         }
+
+
+#: ScenarioResult.latency key -> MetricSet histogram name.
+LATENCY_SERIES = (("request", "latency.request"),
+                  ("queue_wait", "latency.queue_wait"),
+                  ("read_wait", "latency.read_wait"))
+
+
+def latency_histograms(machine: Machine) -> Dict[str, Any]:
+    """The machine's latency histograms, serialized; empty series are
+    omitted so the dict stays compact."""
+    out: Dict[str, Any] = {}
+    for key, name in LATENCY_SERIES:
+        hist = machine.metrics.histogram(name)
+        if hist is not None and hist.count:
+            out[key] = hist.as_dict()
+    return out
 
 
 def trace_digest(machine: Machine) -> str:
@@ -434,7 +459,8 @@ def run_seed(seed: int, n_clusters: int = 3,
         failovers=faulted.metrics.counter("bus.failovers"),
         fault_outcomes=_fault_outcomes(plan, injector, faulted),
         recovery_latencies=faulted.metrics.series(
-            "recovery.crash_handle_latency"))
+            "recovery.crash_handle_latency"),
+        latency=latency_histograms(faulted))
     if violations:
         result.trace_tail = faulted.trace.tail(tail_lines)
     return result
@@ -457,6 +483,10 @@ class CampaignReport:
     n_clusters: int
     results: List[ScenarioResult] = field(default_factory=list)
     jobs: int = 1
+    #: What the caller asked for before :func:`repro.exec.pool.resolve_jobs`
+    #: clamped it (``None``/``0`` = auto).  Execution metadata like
+    #: ``jobs``: excluded from :meth:`as_dict`.
+    jobs_requested: Optional[int] = None
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -486,6 +516,39 @@ class CampaignReport:
             pooled.extend(result.recovery_latencies)
         return pooled
 
+    def merged_latency(self, series: str = "request",
+                       kind: Optional[str] = None) -> LogHistogram:
+        """Merge one latency series across scenarios (optionally one
+        fault kind).  Histogram merge is exact and order-independent,
+        and results are already in seed order, so the aggregate is
+        byte-identical however the sweep executed."""
+        merged = LogHistogram()
+        for result in self.results:
+            if kind is not None and result.kind != kind:
+                continue
+            data = result.latency.get(series)
+            if data:
+                merged.merge(LogHistogram.from_dict(data))
+        return merged
+
+    def latency_summary(self) -> Dict[str, Any]:
+        """Campaign-wide latency digest: per-series percentiles over
+        every faulted run, plus the latency-under-fault curve (request
+        p99 per fault kind)."""
+        out: Dict[str, Any] = {}
+        for series, _ in LATENCY_SERIES:
+            merged = self.merged_latency(series)
+            out[series] = merged.summary() if merged.count else None
+        curve: Dict[str, Any] = {}
+        for kind in sorted(self.kinds_covered()):
+            merged = self.merged_latency("request", kind=kind)
+            # Kinds whose scenarios complete no round trip (e.g. a
+            # crash before any reply) are omitted, not published null.
+            if merged.count:
+                curve[kind] = merged.percentile(99)
+        out["request_p99_by_kind"] = curve
+        return out
+
     def as_dict(self) -> Dict[str, Any]:
         latencies = self.pooled_recovery_latencies()
         return {
@@ -501,6 +564,7 @@ class CampaignReport:
                 "mean": (sum(latencies) / len(latencies))
                         if latencies else None,
             },
+            "latency": self.latency_summary(),
             "results": [result.as_dict() for result in self.results],
         }
 
@@ -515,26 +579,30 @@ def run_campaign(seeds: Sequence[int], n_clusters: int = 3,
     """Run every seed and aggregate.
 
     ``jobs`` > 1 shards the seeds across a spawn-safe process pool
-    (``0``/``None`` means one worker per CPU); the merged report is
+    (``0``/``None`` means one worker per CPU; explicit counts are
+    clamped to the CPU count, and an effective count of one runs
+    serially in-process with no pool spawned); the merged report is
     byte-identical to a serial run (:mod:`repro.exec.pool`).
     ``cache_dir`` memoizes failure-free reference runs on disk, shared
     across workers and across invocations.
     """
-    if not jobs:
-        from ..exec.pool import resolve_jobs
-        jobs = resolve_jobs(jobs)
+    from ..exec.pool import resolve_jobs
+    requested = jobs
+    jobs = resolve_jobs(jobs)
     if jobs > 1 and len(seeds) > 1:
         from ..exec.pool import run_campaign_parallel
         return run_campaign_parallel(seeds, n_clusters=n_clusters,
                                      max_events=max_events, kinds=kinds,
                                      loss_rate=loss_rate,
-                                     garble_rate=garble_rate, jobs=jobs,
+                                     garble_rate=garble_rate,
+                                     jobs=requested,
                                      cache_dir=cache_dir)
     cache = None
     if cache_dir:
         from ..exec.refcache import ReferenceCache
         cache = ReferenceCache(cache_dir)
-    report = CampaignReport(n_clusters=n_clusters)
+    report = CampaignReport(n_clusters=n_clusters,
+                            jobs_requested=requested)
     for seed in seeds:
         report.results.append(run_seed(seed, n_clusters=n_clusters,
                                        max_events=max_events, kinds=kinds,

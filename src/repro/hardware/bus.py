@@ -78,6 +78,10 @@ class InterclusterBus:
         self._requests: Deque[ClusterId] = deque()
         self._requested: set = set()
         self._current: Optional[_Transmission] = None
+        #: Cumulative ticks the bus spent transmitting (every physical
+        #: attempt, retries included) — the numerator of
+        #: :meth:`utilization`.
+        self._busy_ticks = 0
         #: Installed by :meth:`configure_faults`; ``None`` keeps the
         #: original perfect-channel fast path byte-identical.
         self._faults: Optional[DualBusFaultLayer] = None
@@ -104,12 +108,24 @@ class InterclusterBus:
     def busy(self) -> bool:
         return self._current is not None
 
+    @property
+    def busy_ticks(self) -> int:
+        """Total ticks spent transmitting (retries included)."""
+        return self._busy_ticks
+
+    def utilization(self, now: int) -> float:
+        """Fraction of virtual time the bus spent occupied — the
+        saturation gauge the million-user scaling argument reads."""
+        return self._busy_ticks / now if now > 0 else 0.0
+
     def request(self, cluster_id: ClusterId) -> None:
         """A cluster signals it has outgoing traffic ready to transmit."""
         if cluster_id in self._requested:
             return
         self._requested.add(cluster_id)
         self._requests.append(cluster_id)
+        self._metrics.record_hist("bus.request_queue",
+                                  len(self._requests))
         if self._current is None:
             self._grant_next()
 
@@ -157,6 +173,7 @@ class InterclusterBus:
         self._metrics.incr("bus.transmissions")
         self._metrics.incr("bus.bytes", message.size_bytes)
         self._metrics.add_busy("bus", message.kind.value, duration)
+        self._busy_ticks += duration
         if self._trace.active:
             # describe()/target_clusters() build strings and tuples; skip
             # the work entirely when nothing is listening.
@@ -239,6 +256,7 @@ class InterclusterBus:
             self._metrics.incr("bus.retransmissions")
         self._metrics.incr("bus.bytes", message.size_bytes)
         self._metrics.add_busy("bus", message.kind.value, duration)
+        self._busy_ticks += duration
         if self._trace.active:
             category = "bus.transmit" if first else "bus.retransmit"
             self._trace.emit(self._sim.now, category, src=transmission.src,

@@ -541,11 +541,31 @@ class ClusterKernel:
             self.trace.emit(self.sim.now, "msg.drop",
                             cluster=self.cluster_id, msg=message.describe())
             return
-        entry.queue.append(QueuedMessage(message=message,
-                                         arrival_seqno=seqno,
-                                         arrival_time=self.sim.now))
-        self.metrics.incr("msg.delivered_primary")
         pcb = self.pcbs.get(delivery.pid)
+        is_server = (delivery.pid in self.server_registry
+                     or (pcb is not None and pcb.is_server))
+        queued = QueuedMessage(message=message, arrival_seqno=seqno,
+                               arrival_time=self.sim.now)
+        # Queue-based load leveling (off by default): a bounded server
+        # inbox either parks overflow in arrival order ("defer", drained
+        # as the server consumes) or drops it ("shed", lossy — the
+        # DEST_BACKUP copy still exists; see docs/performance.md).
+        limit = self.config.server_inbox_limit
+        if limit is not None and is_server and not entry.kernel_internal \
+                and len(entry.queue) >= limit:
+            if self.config.server_inbox_policy == "shed":
+                self.metrics.incr("inbox.shed")
+                return
+            entry.overflow.append(queued)
+            self.metrics.incr("inbox.deferred")
+            self.metrics.record_hist("queue.overflow_depth",
+                                     len(entry.overflow))
+            return
+        entry.queue.append(queued)
+        self.metrics.incr("msg.delivered_primary")
+        self.metrics.record_hist(
+            "queue.depth.server" if is_server else "queue.depth.user",
+            len(entry.queue))
         if pcb is not None:
             self._maybe_wake(pcb, entry)
 
@@ -706,10 +726,18 @@ class ClusterKernel:
             return None
         _, fd, entry = best
         queued = entry.queue.pop(0)
+        if entry.overflow:
+            # Load leveling: consuming one message admits the oldest
+            # deferred one; overflow seqnos all exceed queued seqnos, so
+            # appending keeps the queue sorted by arrival.
+            entry.queue.append(entry.overflow.pop(0))
+            self.metrics.incr("inbox.resumed")
         entry.reads_since_sync += 1
         entry.changed_since_sync = True
         pcb.reads_since_sync += 1
         self.metrics.incr("msg.reads")
+        self.metrics.record_hist("latency.queue_wait",
+                                 self.sim.now - queued.arrival_time)
         return fd, queued.message.payload
 
     def _maybe_wake(self, pcb: ProcessControlBlock,

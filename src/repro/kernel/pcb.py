@@ -38,6 +38,9 @@ class BlockInfo:
     kind: str                            # "read" | "read_any" | "reply" | "open" | "page"
     fds: Tuple[Fd, ...] = ()
     page_no: Optional[int] = None
+    #: Virtual time the block began; resolving it records the elapsed
+    #: wait into the latency histograms (telemetry only, never synced).
+    since: Optional[Ticks] = None
 
 
 @dataclass

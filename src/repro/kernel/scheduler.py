@@ -192,6 +192,16 @@ class Scheduler:
             self._release(proc, pcb)
             return False
         fd, payload = result
+        if block.since is not None:
+            # End-to-end request latency (write ... await_reply -> reply
+            # consumed) and plain read-wait, in virtual ticks.  Metrics
+            # only: never traced, never synced, so traces and digests
+            # are untouched.
+            waited = kernel.sim.now - block.since
+            if block.kind == "reply":
+                kernel.metrics.record_hist("latency.request", waited)
+            elif block.kind in ("read", "read_any"):
+                kernel.metrics.record_hist("latency.read_wait", waited)
         if block.kind == "read_any":
             pcb.regs["rv"] = (fd, payload)
         elif block.kind == "open":
@@ -396,7 +406,8 @@ class Scheduler:
 
     def _begin_block(self, proc: WorkProcessor, pcb: ProcessControlBlock,
                      kind: str, fds: tuple) -> None:
-        pcb.block = BlockInfo(kind=kind, fds=fds)
+        pcb.block = BlockInfo(kind=kind, fds=fds,
+                              since=self.kernel.sim.now)
         if self._resolve_block(proc, pcb):
             self._continue(proc, pcb)
 

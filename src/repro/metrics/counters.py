@@ -21,6 +21,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .histogram import LogHistogram
+
 
 class MetricsError(Exception):
     """Raised on invalid metric access (e.g. raw series not retained)."""
@@ -66,6 +68,11 @@ class MetricSet:
         self._series: Dict[str, List[int]] = defaultdict(list)
         self._keep_series = keep_series
         self._busy: Dict[Tuple[str, str], int] = defaultdict(int)
+        #: Bounded-memory log-spaced histograms (latency percentiles);
+        #: retained in *both* keep_series modes — bucket counts, not raw
+        #: samples, so the memory argument for dropping series does not
+        #: apply and percentile output is identical either way.
+        self._hists: Dict[str, LogHistogram] = {}
 
     # -- counters ---------------------------------------------------------
 
@@ -124,6 +131,25 @@ class MetricSet:
         return IntervalStats(count=running[0], total=running[1],
                              minimum=running[2], maximum=running[3])
 
+    # -- histograms -------------------------------------------------------
+
+    def record_hist(self, name: str, value: int) -> None:
+        """Fold one sample into the log-spaced histogram ``name`` (O(1),
+        bounded memory; see :class:`~repro.metrics.histogram.LogHistogram`)."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = LogHistogram()
+        hist.record(value)
+
+    def histogram(self, name: str) -> Optional[LogHistogram]:
+        """The histogram recorded under ``name``, or ``None`` if empty."""
+        return self._hists.get(name)
+
+    def histograms(self, prefix: str = "") -> Dict[str, LogHistogram]:
+        """All histograms whose name starts with ``prefix``."""
+        return {name: hist for name, hist in self._hists.items()
+                if name.startswith(prefix)}
+
     # -- busy time --------------------------------------------------------
 
     def add_busy(self, resource: str, activity: str, ticks: int) -> None:
@@ -155,4 +181,6 @@ class MetricSet:
             "samples": {name: self.stats(name) for name in self._running},
             "busy": {f"{res}:{act}": ticks
                      for (res, act), ticks in self._busy.items()},
+            "histograms": {name: hist.summary()
+                           for name, hist in sorted(self._hists.items())},
         }

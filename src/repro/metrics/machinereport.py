@@ -55,8 +55,21 @@ def machine_report(machine: "Machine") -> str:
     bus_rows.append(["(total bytes)", metrics.counter("bus.bytes")])
     bus_rows.append(["(transmissions)",
                      metrics.counter("bus.transmissions")])
+    bus_rows.append(["(utilization)",
+                     f"{100 * metrics.busy('bus') / now:.1f}%"])
     sections.append(format_table(["bus activity", "value"], bus_rows,
                                  title="intercluster bus"))
+
+    # -- latency and queue-depth percentiles -------------------------------
+    lat_rows = []
+    for name, hist in sorted(metrics.histograms().items()):
+        summary = hist.summary()
+        lat_rows.append([name, summary["count"], summary["p50"],
+                         summary["p90"], summary["p99"], summary["max"]])
+    if lat_rows:
+        sections.append(format_table(
+            ["series", "samples", "p50", "p90", "p99", "max"], lat_rows,
+            title="latency and queue depth (ticks / entries)"))
 
     # -- fault tolerance activity ----------------------------------------------
     ft_rows = []

@@ -1,7 +1,13 @@
 """Determinism gate for the parallel campaign engine: the same seed
 sweep run serial, with 2 workers, and with 8 workers must produce
 identical per-seed trace digests and invariant verdicts — and so must a
-second run against a warm reference cache."""
+second run against a warm reference cache.
+
+Worker counts are clamped to the CPU count (the measured 1-core
+slowdown fix), so the multi-worker tests mock a many-core box and the
+degraded-mode tests mock a 1-core box; the byte-identity gate holds on
+both paths.
+"""
 
 import json
 
@@ -19,13 +25,26 @@ def serial_report():
     return run_campaign(SEEDS)
 
 
+@pytest.fixture
+def many_cores(monkeypatch):
+    """Pretend the box has 8 cores so explicit worker counts survive
+    the clamp and a real pool spawns regardless of the host."""
+    monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 8)
+
+
+@pytest.fixture
+def one_core(monkeypatch):
+    monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 1)
+
+
 def fingerprint(report):
     """Everything the gate compares: digests, verdicts, violations —
     via the full serialized report, which excludes execution shape."""
     return json.dumps(report.as_dict(), sort_keys=True)
 
 
-def test_two_workers_match_serial_byte_for_byte(serial_report, tmp_path):
+def test_two_workers_match_serial_byte_for_byte(serial_report, tmp_path,
+                                                many_cores):
     parallel = run_campaign(SEEDS, jobs=2, cache_dir=str(tmp_path))
     assert parallel.jobs == 2
     assert [r.digest for r in parallel.results] == \
@@ -43,16 +62,18 @@ def test_two_workers_match_serial_byte_for_byte(serial_report, tmp_path):
     assert warm.cache_misses == 0
 
 
-def test_eight_workers_match_serial_byte_for_byte(serial_report):
+def test_eight_workers_match_serial_byte_for_byte(serial_report,
+                                                  many_cores):
     parallel = run_campaign(SEEDS, jobs=8)
     assert parallel.jobs == 8
     assert fingerprint(parallel) == fingerprint(serial_report)
 
 
-def test_pool_reuse_and_merge_order(serial_report):
+def test_pool_reuse_and_merge_order(serial_report, many_cores):
     """One pool, several sweeps: results always merge in seed order,
     independent of which worker finishes first."""
     with CampaignPool(jobs=2) as pool:
+        assert not pool.degraded
         first = pool.run(SEEDS)
         again = pool.run(SEEDS)
         reversed_submit = pool.run(list(SEEDS)[::-1])
@@ -63,22 +84,66 @@ def test_pool_reuse_and_merge_order(serial_report):
         {r.seed: r.digest for r in serial_report.results}
 
 
-def test_resolve_jobs_defaults_to_cpu_count():
-    import os
-    assert resolve_jobs(None) == (os.cpu_count() or 1)
-    assert resolve_jobs(0) == (os.cpu_count() or 1)
+def test_resolve_jobs_defaults_and_clamp(monkeypatch):
+    monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 8)
+    assert resolve_jobs(None) == 8
+    assert resolve_jobs(0) == 8
     assert resolve_jobs(3) == 3
     assert resolve_jobs(-2) == 1
+    assert resolve_jobs(16) == 8  # clamped to the CPU count
+    monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 1)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(4) == 1
 
 
-def test_single_seed_sweep_stays_serial(tmp_path):
+def test_single_seed_sweep_stays_serial(tmp_path, many_cores):
     """A one-seed campaign never pays for a pool."""
     report = run_campaign(range(1), jobs=4, cache_dir=str(tmp_path))
     assert report.jobs == 1
     assert report.cache_misses == 1
 
 
-def test_campaign_cli_parallel_end_to_end(tmp_path, capsys):
+# -- the 1-core regression: --jobs N must never spawn a pool ------------
+
+
+class _NoPoolAllowed:
+    """Stands in for ProcessPoolExecutor; instantiation is the bug."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("a worker pool was spawned on a 1-core box")
+
+
+def test_one_core_box_never_spawns_a_pool(serial_report, tmp_path,
+                                          one_core, monkeypatch):
+    """`--jobs 4` on a 1-core box degrades to the in-process serial
+    path: no pool, byte-identical report, working reference cache."""
+    monkeypatch.setattr("repro.exec.pool.ProcessPoolExecutor",
+                        _NoPoolAllowed)
+    assert resolve_jobs(4) == 1
+    with CampaignPool(jobs=4, cache_dir=str(tmp_path)) as pool:
+        assert pool.degraded
+        assert pool.jobs == 1
+        assert pool.jobs_requested == 4
+        pool.warm()  # must be a no-op, not an error
+        cold = pool.run(SEEDS)
+        warm = pool.run(SEEDS)
+    assert fingerprint(cold) == fingerprint(serial_report)
+    assert fingerprint(warm) == fingerprint(serial_report)
+    # Cache deltas per sweep, not lifetime totals.
+    assert (cold.cache_hits, cold.cache_misses) == (0, len(list(SEEDS)))
+    assert (warm.cache_hits, warm.cache_misses) == (len(list(SEEDS)), 0)
+
+
+def test_run_campaign_degrades_on_one_core(serial_report, one_core,
+                                           monkeypatch):
+    monkeypatch.setattr("repro.exec.pool.ProcessPoolExecutor",
+                        _NoPoolAllowed)
+    report = run_campaign(SEEDS, jobs=4)
+    assert report.jobs == 1
+    assert fingerprint(report) == fingerprint(serial_report)
+
+
+def test_campaign_cli_parallel_end_to_end(tmp_path, capsys, many_cores):
     serial_path = tmp_path / "serial.json"
     parallel_path = tmp_path / "parallel.json"
     cache_dir = tmp_path / "refs"
@@ -93,3 +158,10 @@ def test_campaign_cli_parallel_end_to_end(tmp_path, capsys):
     # The serialized reports are byte-identical: the artifact a CI job
     # diffs against its serial twin.
     assert serial_path.read_text() == parallel_path.read_text()
+
+
+def test_campaign_cli_reports_the_clamp(tmp_path, capsys, one_core):
+    assert cli.main(["campaign", "--seeds", "3", "--jobs", "4",
+                     "--verify", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "requested 4, clamped to the CPU count" in out
