@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..backup.modes import BackupMode
 from ..config import MachineConfig
 from ..core.machine import Machine
+from ..scenario.registry import EntryMetadata, Registry
 from ..workloads import (MemoryChurnProgram, build_bank_workload,
                          build_pipeline)
 
@@ -261,16 +262,88 @@ def _measure_campaign(quick: bool, rounds: int, timer: str = "auto",
 
 #: name -> measurement callable(quick, rounds, **options); options are
 #: ``timer`` (all workloads), ``jobs``/``cache_dir`` (campaign only).
-#: Ordered as reported.
-WORKLOADS: Dict[str, Callable[..., BenchResult]] = {
-    "oltp": lambda quick, rounds, **options: _measure_machine(
+#: Registration order is report order; the CLI validates ``--workloads``
+#: against this registry up front (with did-you-mean suggestions).
+BENCH_REGISTRY: Registry[Callable[..., BenchResult]] = \
+    Registry("bench workload")
+
+BENCH_REGISTRY.register(
+    "oltp",
+    lambda quick, rounds, **options: _measure_machine(
         _build_oltp, "oltp", quick, rounds, **options),
-    "pipeline": lambda quick, rounds, **options: _measure_machine(
+    EntryMetadata(description="the bank workload on four clusters"))
+BENCH_REGISTRY.register(
+    "pipeline",
+    lambda quick, rounds, **options: _measure_machine(
         _build_pipeline, "pipeline", quick, rounds, **options),
-    "memory-churn": lambda quick, rounds, **options: _measure_machine(
+    EntryMetadata(description="three-stage relay pipeline"))
+BENCH_REGISTRY.register(
+    "memory-churn",
+    lambda quick, rounds, **options: _measure_machine(
         _build_memory_churn, "memory-churn", quick, rounds, **options),
-    "fault-campaign": _measure_campaign,
-}
+    EntryMetadata(description="page-dirtying sync-traffic stress"))
+BENCH_REGISTRY.register(
+    "fault-campaign", _measure_campaign,
+    EntryMetadata(description="seeded fault-injection sweep "
+                              "(jobs-capable, wall clock)"))
+
+
+class _WorkloadsView(dict):
+    """Backward-compatible dict face of :data:`BENCH_REGISTRY`
+    (``WORKLOADS["oltp"]`` keeps working for existing callers)."""
+
+    def __init__(self, registry: Registry) -> None:
+        super().__init__()
+        self._registry = registry
+
+    def _sync(self) -> None:
+        self.clear()
+        for name, entry, _ in self._registry.items():
+            super().__setitem__(name, entry)
+
+    def __iter__(self):
+        self._sync()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        self._sync()
+        return super().__len__()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __getitem__(self, name: str) -> Callable[..., BenchResult]:
+        return self._registry.get(name)
+
+    def get(self, name, default=None):
+        return (self._registry.get(name)
+                if name in self._registry else default)
+
+    def keys(self):
+        self._sync()
+        return super().keys()
+
+    def items(self):
+        self._sync()
+        return super().items()
+
+    def values(self):
+        self._sync()
+        return super().values()
+
+
+WORKLOADS: Dict[str, Callable[..., BenchResult]] = \
+    _WorkloadsView(BENCH_REGISTRY)
+
+
+def check_workload_names(names: List[str]) -> None:
+    """Reject unknown bench-workload names up front — raises
+    :class:`BenchError` carrying the registry's did-you-mean message."""
+    from ..scenario.registry import UnknownNameError
+    try:
+        BENCH_REGISTRY.check_names(names)
+    except UnknownNameError as error:
+        raise BenchError(str(error)) from None
 
 
 def run_suite(quick: bool = False, rounds: Optional[int] = None,
@@ -284,14 +357,13 @@ def run_suite(quick: bool = False, rounds: Optional[int] = None,
     ``timer="auto"`` times single-process workloads with
     ``process_time`` and multi-process ones with wall clock.
     """
-    names = list(WORKLOADS) if workloads is None else workloads
+    names = (list(BENCH_REGISTRY.names()) if workloads is None
+             else workloads)
+    check_workload_names(names)
     effective_rounds = rounds if rounds is not None else (2 if quick else 5)
     results = []
     for name in names:
-        measure = WORKLOADS.get(name)
-        if measure is None:
-            raise BenchError(f"unknown workload {name!r}; "
-                             f"choose from {sorted(WORKLOADS)}")
+        measure = BENCH_REGISTRY.get(name)
         options = {"timer": timer}
         if name == "fault-campaign":
             options["jobs"] = jobs

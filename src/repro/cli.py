@@ -17,6 +17,12 @@ Commands:
   (events/sec, messages/sec); writes ``BENCH_core.json`` and can fail
   on regression against a committed baseline; ``--jobs``/``--timer``
   cover the parallel campaign engine (see ``docs/performance.md``).
+* ``scenario``  — the declarative YAML scenario subsystem:
+  ``scenario run`` executes a file or corpus directory (honoring
+  ``--jobs`` and the reference cache), ``scenario validate``
+  schema-checks without running, ``scenario list`` shows every
+  registered workload recipe, fault kind, machine shape and invariant
+  check (see ``docs/scenarios.md``).
 
 Every command accepts ``--clusters N`` and ``--seed S`` where meaningful.
 """
@@ -107,16 +113,24 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from .faults import FAULT_KINDS, run_campaign, run_seed
+    from .faults import run_campaign, run_seed
+    from .faults.kinds import FAULT_REGISTRY
+    from .scenario.registry import suggest
 
     kinds = None
     if args.kinds:
         kinds = tuple(kind.strip() for kind in args.kinds.split(",")
                       if kind.strip())
-        unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+        unknown = [kind for kind in kinds if kind not in FAULT_REGISTRY]
         if unknown:
-            print(f"unknown fault kinds: {', '.join(unknown)} "
-                  f"(known: {', '.join(FAULT_KINDS)})")
+            known = FAULT_REGISTRY.names()
+            named = []
+            for kind in unknown:
+                hint = suggest(kind, known)
+                named.append(kind + (f" (did you mean {hint!r}?)"
+                                     if hint else ""))
+            print(f"unknown fault kinds: {', '.join(named)}; "
+                  f"known: {', '.join(known)}")
             return 2
     loss_rate = args.loss_rate if args.loss_rate is not None else None
     garble_rate = (args.garble_rate if args.garble_rate is not None
@@ -207,10 +221,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import (compare_to_baseline, load_report, run_suite,
+    from .bench import (BenchError, check_workload_names,
+                        compare_to_baseline, load_report, run_suite,
                         write_report)
 
-    workloads = args.workloads.split(",") if args.workloads else None
+    workloads = None
+    if args.workloads:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+        try:
+            check_workload_names(workloads)
+        except BenchError as error:
+            print(error)
+            return 2
     results = run_suite(quick=args.quick, rounds=args.rounds,
                         workloads=workloads, timer=args.timer,
                         jobs=args.jobs, cache_dir=args.cache_dir or None)
@@ -253,6 +276,94 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression beyond {args.threshold * 100:.0f}% vs "
               f"{args.baseline}")
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    from .scenario.runner import corpus_report, run_paths, scenario_files
+
+    try:
+        paths = scenario_files(args.path)
+    except FileNotFoundError as error:
+        print(error)
+        return 2
+    outcomes = run_paths(paths, jobs=args.jobs,
+                         cache_dir=args.cache_dir or None)
+    rows = []
+    for outcome in outcomes:
+        if outcome.mode == "sweep":
+            report = outcome.report or {}
+            detail = (f"{report.get('passed', 0)}/"
+                      f"{report.get('scenarios', 0)} seeds")
+        elif outcome.mode == "explicit":
+            detail = outcome.fault or "failure-free"
+        else:
+            detail = "schema/parse error"
+        rows.append([outcome.name, outcome.mode,
+                     "PASS" if outcome.passed else "FAIL", detail])
+    print(format_table(
+        ["scenario", "mode", "result", "detail"], rows,
+        title=f"Scenario corpus: {len(outcomes)} scenarios"))
+    failed = [outcome for outcome in outcomes if not outcome.passed]
+    for outcome in failed:
+        print(f"\nFAIL {outcome.source}:")
+        for violation in outcome.violations:
+            print(f"  {violation}")
+    print(f"\n{len(outcomes) - len(failed)}/{len(outcomes)} "
+          f"scenarios passed")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(corpus_report(outcomes), handle, indent=2)
+            handle.write("\n")
+        print(f"JSON report written to {args.json}")
+    return 1 if failed else 0
+
+
+def cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from .scenario.runner import scenario_files, validate_paths
+
+    try:
+        paths = scenario_files(args.path)
+    except FileNotFoundError as error:
+        print(error)
+        return 2
+    results = validate_paths(paths)
+    bad = 0
+    for path, error in results:
+        if error is None:
+            print(f"ok    {path}")
+        else:
+            bad += 1
+            print(f"ERROR {path}\n      {error}")
+    print(f"\n{len(results) - bad}/{len(results)} scenario files valid")
+    return 2 if bad else 0
+
+
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    from .faults.kinds import FAULT_REGISTRY
+    from .scenario.checks import CHECK_REGISTRY
+    from .scenario.registry import Registry
+    from .scenario.shapes import SHAPE_REGISTRY
+    from .scenario.workloads import WORKLOAD_REGISTRY
+
+    def show(title: str, registry: Registry) -> None:
+        print(f"{title}:")
+        for name, _, metadata in registry.items():
+            print(f"  {name:<22} {metadata.description}")
+            if args.params:
+                for key, spec in metadata.params.items():
+                    required = ("required" if spec.required
+                                else f"default {spec.default!r}")
+                    choices = (f"; one of {', '.join(map(str, spec.choices))}"
+                               if spec.choices else "")
+                    print(f"    {key:<22} {spec.type_name()}, "
+                          f"{required}{choices} — {spec.description}")
+        print()
+
+    show("workload recipes (workload: recipe:)", WORKLOAD_REGISTRY)
+    show("fault kinds (fault: kind: / sweep: kinds:)", FAULT_REGISTRY)
+    show("machine shapes (machine: shape:)", SHAPE_REGISTRY)
+    show("invariant checks (expect: invariants:)", CHECK_REGISTRY)
     return 0
 
 
@@ -322,6 +433,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "multi-process workloads (child CPU is "
                             "invisible to process_time)")
     bench.set_defaults(fn=cmd_bench)
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative YAML scenarios (see docs/scenarios.md)")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="execute one scenario file or a corpus directory")
+    scenario_run.add_argument("path",
+                              help="scenario .yaml file or directory")
+    scenario_run.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for sweep-mode "
+                                   "scenarios (0 = one per CPU)")
+    scenario_run.add_argument("--cache-dir", type=str, default="",
+                              help="reference-cache directory shared "
+                                   "across sweep scenarios")
+    scenario_run.add_argument("--json", type=str, default="",
+                              help="write the corpus report here")
+    scenario_run.set_defaults(fn=cmd_scenario_run)
+    scenario_validate = scenario_sub.add_parser(
+        "validate", help="schema-check scenario files without running")
+    scenario_validate.add_argument("path",
+                                   help="scenario .yaml file or "
+                                        "directory")
+    scenario_validate.set_defaults(fn=cmd_scenario_validate)
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list registered workload recipes, fault kinds, "
+                     "machine shapes and invariant checks")
+    scenario_list.add_argument("--params", action="store_true",
+                               help="show each entry's parameter schema")
+    scenario_list.set_defaults(fn=cmd_scenario_list)
     args = parser.parse_args(argv)
     return args.fn(args)
 

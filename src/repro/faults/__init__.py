@@ -18,18 +18,23 @@ from .injector import (FaultInjector, InjectionRecord, TracePoint,
 from .invariants import (check_all_runnable, check_bus_fault_sanity,
                          check_external_behaviour, check_metrics_sanity,
                          check_scenario)
-from .campaign import (BUS_FAULT_KINDS, FAULT_KINDS, CampaignReport,
-                       FaultPlan, ScenarioResult, build_plan,
-                       install_plan, plan_machine_config, run_campaign,
-                       run_seed, trace_digest, verify_reproducibility)
+from .kinds import (FAULT_REGISTRY, FaultKind, fault_kinds_markdown,
+                    register_fault_kind)
+from .campaign import (BUS_FAULT_KINDS, FAULT_KINDS, CampaignPlan,
+                       CampaignReport, FaultPlan, ScenarioResult,
+                       build_plan, install_plan, plan_machine_config,
+                       run_campaign, run_seed, trace_digest,
+                       verify_reproducibility)
 
 __all__ = [
     "FaultInjector", "InjectionRecord", "TracePoint",
     "nth_promotion", "nth_sync", "nth_transmission", "recovery_begin",
     "check_all_runnable", "check_bus_fault_sanity",
     "check_external_behaviour", "check_metrics_sanity", "check_scenario",
-    "BUS_FAULT_KINDS", "FAULT_KINDS", "CampaignReport", "FaultPlan",
-    "ScenarioResult", "build_plan", "install_plan",
+    "FAULT_REGISTRY", "FaultKind", "fault_kinds_markdown",
+    "register_fault_kind",
+    "BUS_FAULT_KINDS", "FAULT_KINDS", "CampaignPlan", "CampaignReport",
+    "FaultPlan", "ScenarioResult", "build_plan", "install_plan",
     "plan_machine_config", "run_campaign", "run_seed",
     "trace_digest", "verify_reproducibility",
 ]

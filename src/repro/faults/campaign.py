@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import (Any, Dict, List, Optional, Sequence, Tuple,
+                    TYPE_CHECKING)
 
 from ..config import BusFaultConfig, MachineConfig
 from ..core.machine import Machine
@@ -40,33 +41,28 @@ from ..sim.events import SimulationError
 from ..sim.rng import DeterministicRNG
 from ..types import Pid
 from ..workloads.generator import generate_scenario, observable
-from .injector import (FaultInjector, nth_sync, nth_transmission,
-                       recovery_begin)
+from .injector import FaultInjector
 from .invariants import check_scenario
+from .kinds import (BOOT_GRACE, FAULT_REGISTRY, bus_fault_kind_names,
+                    fault_kind_names)
 
 if TYPE_CHECKING:  # pragma: no cover - the exec package imports us
     from ..exec.refcache import ReferenceCache
 
-#: The fault classes a campaign draws from, in stratification order.
-#: The original six keep their positions so historical seed -> scenario
+#: The fault classes a campaign draws from, in stratification order —
+#: derived from the registry (:mod:`repro.faults.kinds`), where each
+#: class's build/install/describe hooks and metadata live.  The
+#: original six keep their positions so historical seed -> scenario
 #: mappings stay stable; the bus and compound classes extend the cycle.
-FAULT_KINDS = ("time_crash", "sync_crash", "transmission_crash",
-               "recovery_double", "proc_fail", "crash_restore",
-               "bus_loss", "bus_garble", "bus_failover",
-               "double_crash", "crash_during_recovery", "drive_crash")
+FAULT_KINDS = fault_kind_names()
 
 #: Classes whose fault lives in the machine config (the bus fault
 #: layer), not in the injector.
-BUS_FAULT_KINDS = ("bus_loss", "bus_garble", "bus_failover")
+BUS_FAULT_KINDS = bus_fault_kind_names()
 
 #: Event budget per scenario run; a run that exhausts it is reported as
 #: a violation (the simulation livelocked), not an exception.
 MAX_EVENTS = 40_000_000
-
-#: Semantic triggers aim past the boot window: a spawn whose birth
-#: notice never escaped is unrecoverable by design (no parent to replay
-#: the fork) — the same >= 2ms floor the property tests crash at.
-BOOT_GRACE = 2_000
 
 
 @dataclass(frozen=True)
@@ -90,166 +86,31 @@ class FaultPlan:
         order — one entry for simple kinds, several for compound kinds.
         ``fault`` names the injector record kind each component should
         produce (``"bus"`` components are configured, not injected)."""
-        params = self.params
-        if self.kind == "time_crash":
-            return [{"fault": "crash",
-                     "planned": f"cluster {params['cluster']} "
-                                f"at t={params['at']}"}]
-        if self.kind == "sync_crash":
-            return [{"fault": "crash",
-                     "planned": f"at sync #{params['nth']}"}]
-        if self.kind == "transmission_crash":
-            return [{"fault": "crash",
-                     "planned": f"at transmission #{params['nth']}"}]
-        if self.kind in ("recovery_double", "crash_during_recovery"):
-            return [{"fault": "crash",
-                     "planned": f"cluster {params['cluster']} "
-                                f"at t={params['at']}"},
-                    {"fault": "crash",
-                     "planned": "the recovering cluster, mid-recovery"}]
-        if self.kind == "proc_fail":
-            return [{"fault": "procfail",
-                     "planned": f"pid index {params['pid_index']} "
-                                f"at t={params['at']}"}]
-        if self.kind == "crash_restore":
-            return [{"fault": "crash",
-                     "planned": f"cluster {params['cluster']} "
-                                f"at t={params['at']}"},
-                    {"fault": "restore",
-                     "planned": f"after {params['restore_after']} ticks"}]
-        if self.kind in BUS_FAULT_KINDS:
-            rates = ", ".join(f"{key}={params[key]}"
-                              for key in ("loss_rate", "garble_rate")
-                              if key in params)
-            return [{"fault": "bus", "planned": rates or "bus faults"}]
-        if self.kind == "double_crash":
-            return [{"fault": "crash",
-                     "planned": f"cluster {params['first']} "
-                                f"at t={params['at']}"},
-                    {"fault": "crash",
-                     "planned": f"cluster {params['second']} "
-                                f"at t={params['at2']}"}]
-        if self.kind == "drive_crash":
-            return [{"fault": "drive_fail",
-                     "planned": f"{params['disk']} drive "
-                                f"{params['drive']} "
-                                f"at t={params['at_drive']}"},
-                    {"fault": "crash",
-                     "planned": f"cluster {params['cluster']} "
-                                f"at t={params['at']}"}]
-        raise ValueError(f"unknown fault kind {self.kind!r}")
+        return FAULT_REGISTRY.get(self.kind).components(self.params)
 
 
 def build_plan(rng: DeterministicRNG, kind: str,
                n_clusters: int) -> FaultPlan:
-    """Expand one fault class into concrete, seeded aim points."""
+    """Expand one fault class into concrete, seeded aim points.
+
+    The shared ``victim``/``when`` draws happen before dispatching to
+    the registered kind's ``build`` hook, so every kind consumes the
+    fork stream in its historical order — seed -> scenario mappings
+    are stable across the registry refactor.
+    """
     victim = rng.randint(0, n_clusters - 1)
     when = rng.randint(2_000, 60_000)
-    if kind == "time_crash":
-        return FaultPlan(kind, {"cluster": victim, "at": when}, True)
-    if kind == "sync_crash":
-        # Crash the syncing cluster squarely at its Nth sync: the sync
-        # message is enqueued but may never leave (section 7.8's "a sync
-        # that never leaves the crashed cluster simply never happened").
-        return FaultPlan(kind, {"nth": rng.choice([1, 1, 2])}, True)
-    if kind == "transmission_crash":
-        # Crash the sender on its Nth bus transmission, mid-flight —
-        # either a named cluster's or whoever transmits next.
-        return FaultPlan(kind, {"cluster": rng.choice([None, victim]),
-                                "nth": rng.randint(1, 2)}, True)
-    if kind == "recovery_double":
-        # First fault at a scheduled time; second fault hits the cluster
-        # that is busy recovering from the first — a true double fault.
-        return FaultPlan(kind, {"cluster": victim, "at": when}, False)
-    if kind == "proc_fail":
-        return FaultPlan(kind, {"pid_index": rng.randint(0, 7),
-                                "at": rng.randint(2_000, 12_000)}, True)
-    if kind == "crash_restore":
-        return FaultPlan(kind, {"cluster": victim, "at": when,
-                                "restore_after":
-                                    rng.randint(20_000, 60_000)}, True)
-    if kind == "bus_loss":
-        # Transient losses (payload and acknowledgement) on the dual
-        # bus; retransmission + duplicate suppression must mask them
-        # completely, so the plan demands exact external equivalence.
-        return FaultPlan(kind, {"loss_rate":
-                                    rng.choice([0.05, 0.1, 0.2, 0.3]),
-                                "bus_seed": rng.randint(0, 2 ** 31)},
-                         True)
-    if kind == "bus_garble":
-        return FaultPlan(kind, {"garble_rate":
-                                    rng.choice([0.05, 0.1, 0.2]),
-                                "bus_seed": rng.randint(0, 2 ** 31)},
-                         True)
-    if kind == "bus_failover":
-        # Rates hostile enough that a link racks up consecutive failures
-        # and is declared dead: the run must finish on the surviving bus.
-        return FaultPlan(kind, {"loss_rate": 0.45, "garble_rate": 0.25,
-                                "bus_seed": rng.randint(0, 2 ** 31)},
-                         True)
-    if kind == "double_crash":
-        second = rng.randint(0, n_clusters - 2)
-        if second >= victim:
-            second += 1  # distinct from the first victim
-        return FaultPlan(kind, {"first": victim, "at": when,
-                                "second": second,
-                                "at2": when + rng.randint(5_000, 40_000)},
-                         False)
-    if kind == "crash_during_recovery":
-        # The compound-plan spelling of recovery_double: a scheduled
-        # crash plus a semantic trigger that kills whichever cluster is
-        # handling the first crash, while it is handling it.
-        return FaultPlan(kind, {"cluster": victim, "at": when}, False)
-    if kind == "drive_crash":
-        # One drive of a mirrored disk dies, then a cluster crashes.
-        # Both faults are individually masked; together they must be too.
-        return FaultPlan(kind, {"disk": rng.choice(["disk0", "pagedisk",
-                                                    "rawdisk"]),
-                                "drive": rng.randint(0, 1),
-                                "at_drive": rng.randint(2_000, 30_000),
-                                "cluster": victim, "at": when}, True)
-    raise ValueError(f"unknown fault kind {kind!r}")
+    entry = FAULT_REGISTRY.get(kind)
+    return FaultPlan(kind, entry.build(rng, victim, when, n_clusters),
+                     entry.survivable)
 
 
 def install_plan(plan: FaultPlan, injector: FaultInjector,
                  pids: Sequence[Pid]) -> None:
-    """Arm a plan's faults on a freshly built machine."""
-    params = plan.params
-    if plan.kind == "time_crash":
-        injector.crash_at(params["cluster"], params["at"])
-    elif plan.kind == "sync_crash":
-        injector.crash_on(nth_sync(nth=params["nth"], after=BOOT_GRACE),
-                          from_detail="cluster")
-    elif plan.kind == "transmission_crash":
-        injector.crash_on(nth_transmission(nth=params["nth"],
-                                           src=params["cluster"],
-                                           after=BOOT_GRACE),
-                          from_detail="src")
-    elif plan.kind == "recovery_double":
-        injector.crash_at(params["cluster"], params["at"])
-        injector.crash_on(recovery_begin(), from_detail="cluster")
-    elif plan.kind == "proc_fail":
-        if pids:
-            pid = pids[params["pid_index"] % len(pids)]
-            injector.fail_process_at(pid, params["at"])
-    elif plan.kind == "crash_restore":
-        injector.crash_at(params["cluster"], params["at"])
-        injector.restore_at(params["cluster"],
-                            params["at"] + params["restore_after"])
-    elif plan.kind in BUS_FAULT_KINDS:
-        pass  # the fault lives in the machine config (plan_machine_config)
-    elif plan.kind == "double_crash":
-        injector.crash_at(params["first"], params["at"])
-        injector.crash_at(params["second"], params["at2"])
-    elif plan.kind == "crash_during_recovery":
-        injector.crash_at(params["cluster"], params["at"])
-        injector.crash_on(recovery_begin(), from_detail="cluster")
-    elif plan.kind == "drive_crash":
-        injector.fail_drive_at(params["disk"], params["drive"],
-                               params["at_drive"])
-        injector.crash_at(params["cluster"], params["at"])
-    else:  # pragma: no cover - guarded by build_plan
-        raise ValueError(f"unknown fault kind {plan.kind!r}")
+    """Arm a plan's faults on a freshly built machine.  Bus kinds are
+    no-ops here: their fault lives in the machine config
+    (:func:`plan_machine_config`)."""
+    FAULT_REGISTRY.get(plan.kind).install(plan.params, injector, pids)
 
 
 def plan_machine_config(plan: FaultPlan, n_clusters: int, seed: int,
@@ -275,6 +136,52 @@ def plan_machine_config(plan: FaultPlan, n_clusters: int, seed: int,
         bus.seed = seed  # overrides on a non-bus plan: seed by scenario
     config.bus_faults = bus
     return config
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A fully specified seed sweep: what :func:`run_campaign` runs.
+
+    This is the compile target of sweep-mode declarative scenarios
+    (:mod:`repro.scenario.compile`): a scenario file and a hand-built
+    plan with the same fields produce **byte-identical** reports,
+    because both funnel through the same :func:`run_campaign` call.
+    Execution knobs (``jobs``, ``cache_dir``) stay out of the plan —
+    they cannot change the report, only how fast it is produced.
+    """
+
+    seeds: Tuple[int, ...]
+    n_clusters: int = 3
+    #: Stratification subset (None = all of :data:`FAULT_KINDS`).
+    kinds: Optional[Tuple[str, ...]] = None
+    #: Blanket degraded-bus overlay laid under every scenario.
+    loss_rate: Optional[float] = None
+    garble_rate: Optional[float] = None
+    max_events: int = MAX_EVENTS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds", tuple(self.kinds))
+            FAULT_REGISTRY.check_names(self.kinds)
+
+    def describe(self) -> str:
+        kinds = ",".join(self.kinds) if self.kinds else "all"
+        overlay = "".join(
+            f" {name}={rate}" for name, rate in
+            (("loss", self.loss_rate), ("garble", self.garble_rate))
+            if rate is not None)
+        return (f"{len(self.seeds)} seeds on {self.n_clusters} "
+                f"clusters, kinds={kinds}{overlay}")
+
+    def run(self, jobs: int = 1,
+            cache_dir: Optional[str] = None) -> "CampaignReport":
+        """Execute the sweep; identical output for any ``jobs``."""
+        return run_campaign(self.seeds, n_clusters=self.n_clusters,
+                            max_events=self.max_events,
+                            kinds=self.kinds, loss_rate=self.loss_rate,
+                            garble_rate=self.garble_rate, jobs=jobs,
+                            cache_dir=cache_dir)
 
 
 # ----------------------------------------------------------------------

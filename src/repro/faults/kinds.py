@@ -1,0 +1,468 @@
+"""The fault-kind registry: every fault class as a pluggable entry.
+
+Each of the campaign's fault classes registers here under its string
+name with
+
+* metadata — a one-line description and a params schema (the concrete
+  aim points :func:`~repro.faults.campaign.build_plan` seeds, which
+  declarative scenarios may instead spell out explicitly);
+* a ``build`` hook — expand seeded RNG draws into concrete params;
+* an ``install`` hook — arm those params on a fresh machine's
+  :class:`~repro.faults.injector.FaultInjector`;
+* a ``components`` hook — the individual faults the plan comprises,
+  for per-component delivery accounting.
+
+:data:`FAULT_KINDS` and :data:`BUS_FAULT_KINDS` are *derived* from the
+registry (registration order is the stratification order), and the
+fault-class table in ``docs/faults.md`` is generated from the metadata
+(:func:`fault_kinds_markdown`), so the three can never drift.
+
+A new fault kind plugs in without touching the campaign engine:
+register a :class:`FaultKind` and it becomes reachable from
+``repro campaign --kinds`` and the scenario DSL alike (see
+``docs/scenarios.md``, "Writing a new fault kind as a plugin").
+
+Registration order matters: the first six keep their historical
+positions so seed -> scenario mappings stay stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..scenario.registry import EntryMetadata, ParamSpec, Registry
+from ..sim.rng import DeterministicRNG
+from ..types import Pid
+from .injector import (FaultInjector, nth_sync, nth_transmission,
+                       recovery_begin)
+
+#: Semantic triggers aim past the boot window: a spawn whose birth
+#: notice never escaped is unrecoverable by design (no parent to replay
+#: the fork) — the same >= 2ms floor the property tests crash at.
+BOOT_GRACE = 2_000
+
+#: build(rng, victim, when, n_clusters) -> concrete plan params.  The
+#: shared ``victim``/``when`` draws happen *before* dispatch (in
+#: ``build_plan``) so every kind consumes the fork stream in the same
+#: order it always has — seed -> scenario mappings stay stable.
+BuildFn = Callable[[DeterministicRNG, int, int, int], Dict[str, Any]]
+InstallFn = Callable[[Dict[str, Any], FaultInjector, Sequence[Pid]],
+                     None]
+ComponentsFn = Callable[[Dict[str, Any]], List[Dict[str, Any]]]
+
+
+def _no_install(params: Dict[str, Any], injector: FaultInjector,
+                pids: Sequence[Pid]) -> None:
+    """Bus kinds: the fault lives in the machine config, not the
+    injector (see ``plan_machine_config``)."""
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One registered fault class."""
+
+    name: str
+    #: Single-fault plans are survivable: exact external equivalence is
+    #: required.  Double faults only promise safety (see invariants).
+    survivable: bool
+    build: BuildFn
+    install: InstallFn
+    components: ComponentsFn
+    #: True when the fault is configured into the machine (the bus
+    #: fault layer) rather than injected.
+    bus: bool = False
+
+
+#: The registry itself.  ``repro scenario list`` renders it; campaign
+#: stratification, CLI validation and docs generation all read it.
+FAULT_REGISTRY: Registry[FaultKind] = Registry("fault kind")
+
+
+def register_fault_kind(kind: FaultKind,
+                        metadata: EntryMetadata) -> FaultKind:
+    """Register a fault class (the plugin entry point)."""
+    return FAULT_REGISTRY.register(kind.name, kind, metadata)
+
+
+def fault_kind_names() -> Tuple[str, ...]:
+    """All registered kinds, in stratification order."""
+    return FAULT_REGISTRY.names()
+
+
+def bus_fault_kind_names() -> Tuple[str, ...]:
+    """The kinds whose fault is configured, not injected."""
+    return tuple(name for name, kind, _ in FAULT_REGISTRY.items()
+                 if kind.bus)
+
+
+def fault_kinds_markdown() -> str:
+    """The fault-class table in ``docs/faults.md``, generated from
+    registry metadata so the two cannot drift (a test pins the file
+    content to this function's output)."""
+    lines = ["| class | what it aims |", "|---|---|"]
+    for name, _, metadata in FAULT_REGISTRY.items():
+        lines.append(f"| `{name}` | {metadata.description} |")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the twelve built-in kinds
+# ----------------------------------------------------------------------
+
+def _build_time_crash(rng, victim, when, n_clusters):
+    return {"cluster": victim, "at": when}
+
+
+def _install_time_crash(params, injector, pids):
+    injector.crash_at(params["cluster"], params["at"])
+
+
+def _components_time_crash(params):
+    return [{"fault": "crash",
+             "planned": f"cluster {params['cluster']} "
+                        f"at t={params['at']}"}]
+
+
+register_fault_kind(
+    FaultKind("time_crash", survivable=True,
+              build=_build_time_crash, install=_install_time_crash,
+              components=_components_time_crash),
+    EntryMetadata(
+        description="crash one cluster at a seeded arbitrary time",
+        params={
+            "cluster": ParamSpec(int, "victim cluster index"),
+            "at": ParamSpec(int, "crash time, ticks"),
+        }))
+
+
+def _build_sync_crash(rng, victim, when, n_clusters):
+    # Crash the syncing cluster squarely at its Nth sync: the sync
+    # message is enqueued but may never leave (section 7.8's "a sync
+    # that never leaves the crashed cluster simply never happened").
+    return {"nth": rng.choice([1, 1, 2])}
+
+
+def _install_sync_crash(params, injector, pids):
+    injector.crash_on(nth_sync(nth=params["nth"], after=BOOT_GRACE),
+                      from_detail="cluster")
+
+
+def _components_sync_crash(params):
+    return [{"fault": "crash",
+             "planned": f"at sync #{params['nth']}"}]
+
+
+register_fault_kind(
+    FaultKind("sync_crash", survivable=True,
+              build=_build_sync_crash, install=_install_sync_crash,
+              components=_components_sync_crash),
+    EntryMetadata(
+        description="crash the syncing cluster squarely at its Nth sync",
+        params={
+            "nth": ParamSpec(int, "which sync to crash at", default=1),
+        }))
+
+
+def _build_transmission_crash(rng, victim, when, n_clusters):
+    # Crash the sender on its Nth bus transmission, mid-flight —
+    # either a named cluster's or whoever transmits next.
+    return {"cluster": rng.choice([None, victim]),
+            "nth": rng.randint(1, 2)}
+
+
+def _install_transmission_crash(params, injector, pids):
+    injector.crash_on(nth_transmission(nth=params["nth"],
+                                       src=params["cluster"],
+                                       after=BOOT_GRACE),
+                      from_detail="src")
+
+
+def _components_transmission_crash(params):
+    return [{"fault": "crash",
+             "planned": f"at transmission #{params['nth']}"}]
+
+
+register_fault_kind(
+    FaultKind("transmission_crash", survivable=True,
+              build=_build_transmission_crash,
+              install=_install_transmission_crash,
+              components=_components_transmission_crash),
+    EntryMetadata(
+        description="crash the sender mid bus transmission",
+        params={
+            "nth": ParamSpec(int, "which transmission to crash at",
+                             default=1),
+            "cluster": ParamSpec(
+                int, "sending cluster (null: whoever transmits next)",
+                default=None, nullable=True),
+        }))
+
+
+def _build_recovery_double(rng, victim, when, n_clusters):
+    # First fault at a scheduled time; second fault hits the cluster
+    # that is busy recovering from the first — a true double fault.
+    return {"cluster": victim, "at": when}
+
+
+def _install_recovery_double(params, injector, pids):
+    injector.crash_at(params["cluster"], params["at"])
+    injector.crash_on(recovery_begin(), from_detail="cluster")
+
+
+def _components_recovery_double(params):
+    return [{"fault": "crash",
+             "planned": f"cluster {params['cluster']} "
+                        f"at t={params['at']}"},
+            {"fault": "crash",
+             "planned": "the recovering cluster, mid-recovery"}]
+
+
+register_fault_kind(
+    FaultKind("recovery_double", survivable=False,
+              build=_build_recovery_double,
+              install=_install_recovery_double,
+              components=_components_recovery_double),
+    EntryMetadata(
+        description="crash a cluster, then crash the cluster "
+                    "*recovering* from it — a true double fault",
+        params={
+            "cluster": ParamSpec(int, "first victim cluster index"),
+            "at": ParamSpec(int, "first crash time, ticks"),
+        }))
+
+
+def _build_proc_fail(rng, victim, when, n_clusters):
+    return {"pid_index": rng.randint(0, 7),
+            "at": rng.randint(2_000, 12_000)}
+
+
+def _install_proc_fail(params, injector, pids):
+    if pids:
+        pid = pids[params["pid_index"] % len(pids)]
+        injector.fail_process_at(pid, params["at"])
+
+
+def _components_proc_fail(params):
+    return [{"fault": "procfail",
+             "planned": f"pid index {params['pid_index']} "
+                        f"at t={params['at']}"}]
+
+
+register_fault_kind(
+    FaultKind("proc_fail", survivable=True,
+              build=_build_proc_fail, install=_install_proc_fail,
+              components=_components_proc_fail),
+    EntryMetadata(
+        description="fail one process, cluster stays up",
+        params={
+            "pid_index": ParamSpec(
+                int, "index into the spawned-pid list (mod length)",
+                default=0),
+            "at": ParamSpec(int, "failure time, ticks"),
+        }))
+
+
+def _build_crash_restore(rng, victim, when, n_clusters):
+    return {"cluster": victim, "at": when,
+            "restore_after": rng.randint(20_000, 60_000)}
+
+
+def _install_crash_restore(params, injector, pids):
+    injector.crash_at(params["cluster"], params["at"])
+    injector.restore_at(params["cluster"],
+                        params["at"] + params["restore_after"])
+
+
+def _components_crash_restore(params):
+    return [{"fault": "crash",
+             "planned": f"cluster {params['cluster']} "
+                        f"at t={params['at']}"},
+            {"fault": "restore",
+             "planned": f"after {params['restore_after']} ticks"}]
+
+
+register_fault_kind(
+    FaultKind("crash_restore", survivable=True,
+              build=_build_crash_restore,
+              install=_install_crash_restore,
+              components=_components_crash_restore),
+    EntryMetadata(
+        description="crash, then return the cluster to service",
+        params={
+            "cluster": ParamSpec(int, "victim cluster index"),
+            "at": ParamSpec(int, "crash time, ticks"),
+            "restore_after": ParamSpec(
+                int, "ticks between crash and restore"),
+        }))
+
+
+def _bus_components(params):
+    rates = ", ".join(f"{key}={params[key]}"
+                      for key in ("loss_rate", "garble_rate")
+                      if key in params and params[key] is not None)
+    return [{"fault": "bus", "planned": rates or "bus faults"}]
+
+
+def _build_bus_loss(rng, victim, when, n_clusters):
+    # Transient losses (payload and acknowledgement) on the dual
+    # bus; retransmission + duplicate suppression must mask them
+    # completely, so the plan demands exact external equivalence.
+    return {"loss_rate": rng.choice([0.05, 0.1, 0.2, 0.3]),
+            "bus_seed": rng.randint(0, 2 ** 31)}
+
+
+register_fault_kind(
+    FaultKind("bus_loss", survivable=True, bus=True,
+              build=_build_bus_loss, install=_no_install,
+              components=_bus_components),
+    EntryMetadata(
+        description="degraded bus: seeded per-transmission loss "
+                    "(rate drawn from the seed)",
+        params={
+            "loss_rate": ParamSpec(float, "per-attempt loss probability"),
+            "bus_seed": ParamSpec(int, "fault-stream seed", default=0),
+        }))
+
+
+def _build_bus_garble(rng, victim, when, n_clusters):
+    return {"garble_rate": rng.choice([0.05, 0.1, 0.2]),
+            "bus_seed": rng.randint(0, 2 ** 31)}
+
+
+register_fault_kind(
+    FaultKind("bus_garble", survivable=True, bus=True,
+              build=_build_bus_garble, install=_no_install,
+              components=_bus_components),
+    EntryMetadata(
+        description="degraded bus: seeded per-transmission garble",
+        params={
+            "garble_rate": ParamSpec(float,
+                                     "per-attempt garble probability"),
+            "bus_seed": ParamSpec(int, "fault-stream seed", default=0),
+        }))
+
+
+def _build_bus_failover(rng, victim, when, n_clusters):
+    # Rates hostile enough that a link racks up consecutive failures
+    # and is declared dead: the run must finish on the surviving bus.
+    return {"loss_rate": 0.45, "garble_rate": 0.25,
+            "bus_seed": rng.randint(0, 2 ** 31)}
+
+
+register_fault_kind(
+    FaultKind("bus_failover", survivable=True, bus=True,
+              build=_build_bus_failover, install=_no_install,
+              components=_bus_components),
+    EntryMetadata(
+        description="bus so lossy the failover threshold trips — "
+                    "run degrades to a single bus",
+        params={
+            "loss_rate": ParamSpec(float, "per-attempt loss probability",
+                                   default=0.45),
+            "garble_rate": ParamSpec(float,
+                                     "per-attempt garble probability",
+                                     default=0.25),
+            "bus_seed": ParamSpec(int, "fault-stream seed", default=0),
+        }))
+
+
+def _build_double_crash(rng, victim, when, n_clusters):
+    second = rng.randint(0, n_clusters - 2)
+    if second >= victim:
+        second += 1  # distinct from the first victim
+    return {"first": victim, "at": when, "second": second,
+            "at2": when + rng.randint(5_000, 40_000)}
+
+
+def _install_double_crash(params, injector, pids):
+    injector.crash_at(params["first"], params["at"])
+    injector.crash_at(params["second"], params["at2"])
+
+
+def _components_double_crash(params):
+    return [{"fault": "crash",
+             "planned": f"cluster {params['first']} "
+                        f"at t={params['at']}"},
+            {"fault": "crash",
+             "planned": f"cluster {params['second']} "
+                        f"at t={params['at2']}"}]
+
+
+register_fault_kind(
+    FaultKind("double_crash", survivable=False,
+              build=_build_double_crash,
+              install=_install_double_crash,
+              components=_components_double_crash),
+    EntryMetadata(
+        description="two distinct clusters crashed at independent "
+                    "seeded times",
+        params={
+            "first": ParamSpec(int, "first victim cluster index"),
+            "at": ParamSpec(int, "first crash time, ticks"),
+            "second": ParamSpec(int, "second victim cluster index"),
+            "at2": ParamSpec(int, "second crash time, ticks"),
+        }))
+
+
+def _build_crash_during_recovery(rng, victim, when, n_clusters):
+    # The compound-plan spelling of recovery_double: a scheduled
+    # crash plus a semantic trigger that kills whichever cluster is
+    # handling the first crash, while it is handling it.
+    return {"cluster": victim, "at": when}
+
+
+register_fault_kind(
+    FaultKind("crash_during_recovery", survivable=False,
+              build=_build_crash_during_recovery,
+              install=_install_recovery_double,
+              components=_components_recovery_double),
+    EntryMetadata(
+        description="second crash lands inside the first crash's "
+                    "handling window",
+        params={
+            "cluster": ParamSpec(int, "first victim cluster index"),
+            "at": ParamSpec(int, "first crash time, ticks"),
+        }))
+
+
+def _build_drive_crash(rng, victim, when, n_clusters):
+    # One drive of a mirrored disk dies, then a cluster crashes.
+    # Both faults are individually masked; together they must be too.
+    return {"disk": rng.choice(["disk0", "pagedisk", "rawdisk"]),
+            "drive": rng.randint(0, 1),
+            "at_drive": rng.randint(2_000, 30_000),
+            "cluster": victim, "at": when}
+
+
+def _install_drive_crash(params, injector, pids):
+    injector.fail_drive_at(params["disk"], params["drive"],
+                           params["at_drive"])
+    injector.crash_at(params["cluster"], params["at"])
+
+
+def _components_drive_crash(params):
+    return [{"fault": "drive_fail",
+             "planned": f"{params['disk']} drive {params['drive']} "
+                        f"at t={params['at_drive']}"},
+            {"fault": "crash",
+             "planned": f"cluster {params['cluster']} "
+                        f"at t={params['at']}"}]
+
+
+register_fault_kind(
+    FaultKind("drive_crash", survivable=True,
+              build=_build_drive_crash, install=_install_drive_crash,
+              components=_components_drive_crash),
+    EntryMetadata(
+        description="one mirrored-disk drive fails mid-run, then a "
+                    "cluster crashes",
+        params={
+            "disk": ParamSpec(str, "which mirrored disk",
+                              choices=("disk0", "pagedisk", "rawdisk")),
+            "drive": ParamSpec(int, "which drive of the mirror",
+                               choices=(0, 1)),
+            "at_drive": ParamSpec(int, "drive-failure time, ticks"),
+            "cluster": ParamSpec(int, "victim cluster index"),
+            "at": ParamSpec(int, "crash time, ticks"),
+        }))

@@ -1,0 +1,93 @@
+"""The invariant-checker registry: named checks scenarios select.
+
+An explicit-mode scenario lists the invariants it expects to hold
+(``expect: invariants: [external_behaviour, runnability]``); each name
+resolves here to an adapter over the checkers in
+:mod:`repro.faults.invariants`.  Every checker consumes a
+:class:`CheckContext` and returns a list of violation strings (empty =
+pass), which is the contract third-party checkers plug into as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.machine import Machine
+from ..faults.invariants import (Observable, check_all_runnable,
+                                 check_bus_fault_sanity,
+                                 check_external_behaviour,
+                                 check_metrics_sanity)
+from .registry import EntryMetadata, Registry
+
+
+@dataclass(frozen=True)
+class CheckContext:
+    """Everything a post-run invariant checker may look at."""
+
+    machine: Machine                 #: the (possibly faulted) run
+    expected: Optional[Observable]   #: the failure-free observable
+    survivable: bool                 #: grade of guarantee expected
+    injected_crashes: int            #: cluster crashes the plan caused
+
+
+CheckFn = Callable[[CheckContext], List[str]]
+
+CHECK_REGISTRY: Registry[CheckFn] = Registry("invariant check")
+
+
+def register_check(name: str, check: CheckFn,
+                   description: str) -> CheckFn:
+    """Register an invariant checker (the plugin entry point)."""
+    return CHECK_REGISTRY.register(name, check,
+                                   EntryMetadata(description=description))
+
+
+#: The checks an explicit-mode scenario gets when it names none.
+DEFAULT_CHECKS = ("external_behaviour", "runnability", "metrics_sanity")
+
+
+def run_checks(names, context: CheckContext) -> List[str]:
+    """Run the named checks in order; combined violation list."""
+    violations: List[str] = []
+    for name in names:
+        violations += CHECK_REGISTRY.get(name)(context)
+    return violations
+
+
+# ----------------------------------------------------------------------
+# built-in checks (adapters over repro.faults.invariants)
+# ----------------------------------------------------------------------
+
+def _external_behaviour(context: CheckContext) -> List[str]:
+    if context.expected is None:
+        return ["external: no failure-free baseline available for "
+                "the external_behaviour check"]
+    from ..workloads.generator import observable
+    return check_external_behaviour(context.expected,
+                                    observable(context.machine),
+                                    context.survivable)
+
+
+register_check(
+    "external_behaviour", _external_behaviour,
+    "terminal output and exit codes equal the failure-free run's "
+    "(survivable) or form a duplicate-free subsequence (not)")
+
+register_check(
+    "runnability",
+    lambda context: check_all_runnable(context.machine,
+                                       context.survivable),
+    "no process left stuck half-scheduled after the run goes idle")
+
+register_check(
+    "metrics_sanity",
+    lambda context: check_metrics_sanity(context.machine,
+                                         context.injected_crashes),
+    "metric counters agree with the trace and the injected faults")
+
+register_check(
+    "bus_fault_sanity",
+    lambda context: check_bus_fault_sanity(context.machine),
+    "retransmission/failover counters close arithmetically against "
+    "the judged bus faults")

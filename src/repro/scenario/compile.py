@@ -1,0 +1,192 @@
+"""Compile validated scenario documents onto the existing machinery.
+
+A sweep-mode document compiles to a
+:class:`~repro.faults.campaign.CampaignPlan` — the same object a
+Python caller builds by hand, funneled through the same
+:func:`~repro.faults.campaign.run_campaign` call, which is what makes
+scenario-compiled campaign reports **byte-identical** to code-built
+ones.  An explicit-mode document compiles to machine configs, a
+workload recipe and (optionally) one :class:`FaultPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..config import BusFaultConfig, MachineConfig
+from ..faults.campaign import (BUS_FAULT_KINDS, MAX_EVENTS,
+                               CampaignPlan, FaultPlan)
+from ..faults.kinds import FAULT_REGISTRY
+from . import yamlite
+from .schema import validate_scenario
+from .shapes import shape_config
+
+#: machine: keys copied straight onto MachineConfig when non-null.
+_MACHINE_PASSTHROUGH = ("sync_reads_threshold", "sync_time_threshold",
+                        "poll_interval", "server_sync_requests",
+                        "server_inbox_limit", "server_inbox_policy")
+
+#: bus: keys copied straight onto BusFaultConfig when non-null.
+_BUS_PASSTHROUGH = ("retry_limit", "backoff_base",
+                    "failover_threshold")
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """One scenario, validated and bound to concrete run machinery."""
+
+    name: str
+    description: str
+    source: str
+    #: The fully normalized document (defaults applied).
+    doc: Dict[str, Any] = field(repr=False)
+    #: Sweep mode: the campaign to run.  None in explicit mode.
+    campaign: Optional[CampaignPlan] = None
+    #: Explicit mode: the fault plan to install.  None for
+    #: failure-free (smoke) scenarios and in sweep mode.
+    fault_plan: Optional[FaultPlan] = None
+
+    @property
+    def mode(self) -> str:
+        return "sweep" if self.campaign is not None else "explicit"
+
+    @property
+    def max_events(self) -> int:
+        return self.doc["max_events"] or MAX_EVENTS
+
+    @property
+    def workload_recipe(self) -> str:
+        return self.doc["workload"]["recipe"]
+
+    @property
+    def workload_params(self) -> Dict[str, Any]:
+        return dict(self.doc["workload"]["params"])
+
+    @property
+    def expect(self) -> Optional[Dict[str, Any]]:
+        return self.doc["expect"]
+
+    @property
+    def survivable(self) -> bool:
+        """The grade the behaviour checks hold the run to."""
+        expect = self.expect
+        if expect is not None and expect["survivable"] is not None:
+            return expect["survivable"]
+        if self.fault_plan is not None:
+            return self.fault_plan.survivable
+        return True
+
+    # ------------------------------------------------------------------
+    # explicit-mode machine configs
+    # ------------------------------------------------------------------
+
+    def machine_config(self) -> MachineConfig:
+        """The faulted run's machine (explicit mode)."""
+        machine = self.doc["machine"]
+        kwargs = shape_config(machine["shape"])
+        if machine["clusters"] is not None:
+            kwargs["n_clusters"] = machine["clusters"]
+        config = MachineConfig(**kwargs)
+        config.seed = machine["seed"]
+        for key in _MACHINE_PASSTHROUGH:
+            if machine[key] is not None:
+                setattr(config, key, machine[key])
+        config.bus_faults = self._bus_config()
+        return config.validate()
+
+    def baseline_config(self) -> MachineConfig:
+        """The failure-free reference machine: identical, except the
+        bus is perfect (bus degradation counts as part of the fault
+        under test, so the reference never sees it)."""
+        config = self.machine_config()
+        config.bus_faults = BusFaultConfig()
+        return config
+
+    def _bus_config(self) -> BusFaultConfig:
+        bus = self.doc["bus"]
+        config = BusFaultConfig(loss_rate=bus["loss_rate"],
+                                garble_rate=bus["garble_rate"],
+                                seed=bus["seed"])
+        for key in _BUS_PASSTHROUGH:
+            if bus[key] is not None:
+                setattr(config, key, bus[key])
+        plan = self.fault_plan
+        if plan is not None and plan.kind in BUS_FAULT_KINDS:
+            # A bus fault kind carries its own rates and stream seed;
+            # they take precedence over the ambient bus: section.
+            config.loss_rate = plan.params.get("loss_rate", 0.0)
+            config.garble_rate = plan.params.get("garble_rate", 0.0)
+            config.seed = plan.params.get("bus_seed", config.seed)
+        return config.validate()
+
+    # ------------------------------------------------------------------
+    # round-trip serialization
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """The normalized document with empty sections pruned — the
+        round-trip form: ``compile_scenario(canonical())`` yields an
+        equal canonical document, and :func:`yamlite.dumps` can emit
+        it verbatim."""
+        return _prune(self.doc)
+
+    def canonical_yaml(self) -> str:
+        return yamlite.dumps(self.canonical())
+
+
+def _prune(value: Any) -> Any:
+    """Drop ``None`` values and empty mappings, recursively; what is
+    left re-validates to the same normalized document."""
+    if isinstance(value, dict):
+        pruned = {key: _prune(item) for key, item in value.items()}
+        return {key: item for key, item in pruned.items()
+                if item is not None and item != {}}
+    if isinstance(value, (list, tuple)):
+        return [_prune(item) for item in value]
+    return value
+
+
+def compile_scenario(doc: Any, source: str = "") -> CompiledScenario:
+    """Validate ``doc`` and bind it: the one entry point from raw
+    parsed YAML to something runnable."""
+    normalized = validate_scenario(doc, source)
+    name = normalized["scenario"]
+    campaign: Optional[CampaignPlan] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    sweep = normalized["sweep"]
+    if sweep is not None:
+        seeds = sweep["seeds"]
+        if isinstance(seeds, int):
+            base = sweep["base_seed"]
+            seeds = list(range(base, base + seeds))
+        machine = normalized["machine"]
+        clusters = machine["clusters"]
+        if clusters is None:
+            clusters = shape_config(machine["shape"])["n_clusters"]
+        bus = normalized["bus"]
+        campaign = CampaignPlan(
+            seeds=tuple(seeds), n_clusters=clusters,
+            kinds=tuple(sweep["kinds"]) if sweep["kinds"] else None,
+            loss_rate=bus["loss_rate"] or None,
+            garble_rate=bus["garble_rate"] or None,
+            max_events=normalized["max_events"] or MAX_EVENTS)
+
+    fault = normalized["fault"]
+    if fault is not None:
+        entry = FAULT_REGISTRY.get(fault["kind"])
+        survivable = (entry.survivable if fault["survivable"] is None
+                      else fault["survivable"])
+        fault_plan = FaultPlan(fault["kind"], dict(fault["params"]),
+                               survivable)
+
+    return CompiledScenario(name=name,
+                            description=normalized["description"],
+                            source=source, doc=normalized,
+                            campaign=campaign, fault_plan=fault_plan)
+
+
+def load_scenario(path: str) -> CompiledScenario:
+    """Parse, validate and compile one scenario file."""
+    return compile_scenario(yamlite.load_file(path), source=path)

@@ -1,0 +1,386 @@
+"""The scenario-document schema: structure, types, and cross-rules.
+
+:func:`validate_scenario` takes the raw mapping out of
+:mod:`~repro.scenario.yamlite` and returns a fully normalized document
+(every section present, every default applied) or raises
+:class:`SchemaError` naming the offending key path, with did-you-mean
+suggestions for unknown keys and enum values.
+
+A scenario document has two mutually exclusive modes:
+
+* **sweep** — a ``sweep:`` section compiles the document onto
+  :class:`~repro.faults.campaign.CampaignPlan`: many seeds, the
+  stratified fault-kind mix, the full invariant battery per seed.
+* **explicit** — a ``fault:`` section (or none, for failure-free
+  smoke runs) builds one workload on one machine, optionally installs
+  one fault plan, and judges the run against ``expect:``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..faults.kinds import FAULT_REGISTRY
+from .checks import CHECK_REGISTRY, DEFAULT_CHECKS
+from .registry import (ParamSpec, RegistryError, UnknownNameError,
+                       unknown_name_message, validate_params)
+from .shapes import SHAPE_REGISTRY
+from .workloads import WORKLOAD_REGISTRY
+
+
+class SchemaError(RegistryError):
+    """A scenario document violated the schema."""
+
+
+# ----------------------------------------------------------------------
+# section schemas
+# ----------------------------------------------------------------------
+
+TOP_LEVEL_KEYS: Tuple[str, ...] = (
+    "scenario", "description", "workload", "machine", "bus",
+    "sweep", "fault", "expect", "max_events")
+
+#: ``machine:`` — shape preset plus field-by-field MachineConfig
+#: overrides (null = keep the preset/config default).
+MACHINE_SPECS: Dict[str, ParamSpec] = {
+    "shape": ParamSpec(str, "machine-shape preset name",
+                       default="small"),
+    "clusters": ParamSpec(int, "cluster count override",
+                          default=None, nullable=True),
+    "sync_reads_threshold": ParamSpec(int, "reads between syncs",
+                                      default=None, nullable=True),
+    "sync_time_threshold": ParamSpec(int, "ticks between syncs",
+                                     default=None, nullable=True),
+    "poll_interval": ParamSpec(int, "failure-detector poll ticks",
+                               default=None, nullable=True),
+    "server_sync_requests": ParamSpec(int,
+                                      "server requests between syncs",
+                                      default=None, nullable=True),
+    "server_inbox_limit": ParamSpec(int,
+                                    "bounded server-inbox depth",
+                                    default=None, nullable=True),
+    "server_inbox_policy": ParamSpec(str, "overflow policy",
+                                     default=None, nullable=True,
+                                     choices=("defer", "shed")),
+    "seed": ParamSpec(int, "machine/workload RNG seed", default=0),
+}
+
+#: ``bus:`` — the degraded-bus fault model (BusFaultConfig).
+BUS_SPECS: Dict[str, ParamSpec] = {
+    "loss_rate": ParamSpec(float, "per-attempt loss probability",
+                           default=0.0),
+    "garble_rate": ParamSpec(float, "per-attempt garble probability",
+                             default=0.0),
+    "retry_limit": ParamSpec(int, "attempts before failover",
+                             default=None, nullable=True),
+    "backoff_base": ParamSpec(int, "base retransmission backoff",
+                              default=None, nullable=True),
+    "failover_threshold": ParamSpec(int,
+                                    "failures before a bus is dead",
+                                    default=None, nullable=True),
+    "seed": ParamSpec(int, "fault-stream seed", default=0),
+}
+
+#: ``workload:`` — a registered recipe plus its params.
+WORKLOAD_SPECS: Dict[str, ParamSpec] = {
+    "recipe": ParamSpec(str, "workload recipe name",
+                        default="generated"),
+    "params": ParamSpec(dict, "recipe parameters", default=None,
+                        nullable=True),
+}
+
+#: ``sweep:`` — compile onto CampaignPlan.
+SWEEP_SPECS: Dict[str, ParamSpec] = {
+    "seeds": ParamSpec((int, list),
+                       "seed count (int) or explicit seed list"),
+    "base_seed": ParamSpec(int, "first seed when seeds is a count",
+                           default=0),
+    "kinds": ParamSpec(list, "fault kinds to stratify over "
+                             "(null: every kind)",
+                       default=None, nullable=True),
+}
+
+#: ``fault:`` — one explicit fault plan.
+FAULT_SPECS: Dict[str, ParamSpec] = {
+    "kind": ParamSpec(str, "fault kind name"),
+    "params": ParamSpec(dict, "fault-kind parameters", default=None,
+                        nullable=True),
+    "survivable": ParamSpec(bool,
+                            "override the kind's survivability grade",
+                            default=None, nullable=True),
+}
+
+#: ``expect:`` — what the run is judged on (explicit mode).
+EXPECT_SPECS: Dict[str, ParamSpec] = {
+    "invariants": ParamSpec(list, "invariant checks to run",
+                            default=None, nullable=True),
+    "counters": ParamSpec(dict, "metric-counter bounds "
+                                "(name -> min/max/equals)",
+                          default=None, nullable=True),
+    "survivable": ParamSpec(bool, "grade the behaviour checks expect",
+                            default=None, nullable=True),
+}
+
+COUNTER_BOUND_SPECS: Dict[str, ParamSpec] = {
+    "min": ParamSpec(int, "inclusive lower bound", default=None,
+                     nullable=True),
+    "max": ParamSpec(int, "inclusive upper bound", default=None,
+                     nullable=True),
+    "equals": ParamSpec(int, "exact expected value", default=None,
+                        nullable=True),
+}
+
+#: Keys a sweep-mode scenario may set per section (the campaign
+#: machinery owns everything else, by design — that is what keeps
+#: scenario-compiled campaigns byte-identical to Python-built ones).
+SWEEP_ALLOWED = {
+    "machine": ("shape", "clusters"),
+    "bus": ("loss_rate", "garble_rate"),
+}
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise SchemaError(f"{where}: must be a mapping, "
+                          f"got {type(value).__name__}")
+    return value
+
+
+def _int_list(value: Any, where: str) -> List[int]:
+    if not isinstance(value, list):
+        raise SchemaError(f"{where}: must be a list of integers")
+    out: List[int] = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise SchemaError(f"{where}: must be a list of integers, "
+                              f"found {item!r}")
+        out.append(item)
+    return out
+
+
+def _name_list(value: Any, registry, where: str) -> List[str]:
+    if not isinstance(value, list):
+        raise SchemaError(f"{where}: must be a list of names")
+    for item in value:
+        if not isinstance(item, str):
+            raise SchemaError(f"{where}: must be a list of names, "
+                              f"found {item!r}")
+        if item not in registry:
+            raise SchemaError(f"{where}: " + unknown_name_message(
+                registry.what, item, registry.names()))
+    return list(value)
+
+
+def validate_scenario(doc: Any, source: str = "") -> Dict[str, Any]:
+    """Validate and normalize one scenario document.
+
+    Returns a document with every section present and every default
+    applied; raises :class:`SchemaError` on any violation.
+    """
+    where = source or "scenario"
+    doc = _require_mapping(doc, where)
+    for key in doc:
+        if key not in TOP_LEVEL_KEYS:
+            raise SchemaError(f"{where}: " + unknown_name_message(
+                "top-level key", key, TOP_LEVEL_KEYS))
+
+    name = doc.get("scenario")
+    if not isinstance(name, str) or not name:
+        raise SchemaError(f"{where}: 'scenario:' must name the "
+                          f"scenario (a non-empty string)")
+    description = doc.get("description", "")
+    if description is None:
+        description = ""
+    if not isinstance(description, str):
+        raise SchemaError(f"{where}: description: must be a string")
+
+    max_events = doc.get("max_events")
+    if max_events is not None and (isinstance(max_events, bool)
+                                   or not isinstance(max_events, int)
+                                   or max_events < 1):
+        raise SchemaError(f"{where}: max_events: must be a positive "
+                          f"integer")
+
+    try:
+        machine = validate_params(
+            _require_mapping(doc.get("machine"), "machine"),
+            MACHINE_SPECS, "machine")
+        bus = validate_params(
+            _require_mapping(doc.get("bus"), "bus"),
+            BUS_SPECS, "bus")
+        workload = validate_params(
+            _require_mapping(doc.get("workload"), "workload"),
+            WORKLOAD_SPECS, "workload")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+
+    if machine["shape"] not in SHAPE_REGISTRY:
+        raise SchemaError(f"{where}: machine.shape: "
+                          + unknown_name_message(
+                              "machine shape", machine["shape"],
+                              SHAPE_REGISTRY.names()))
+
+    recipe = workload["recipe"]
+    if recipe not in WORKLOAD_REGISTRY:
+        raise SchemaError(f"{where}: workload.recipe: "
+                          + unknown_name_message(
+                              "workload recipe", recipe,
+                              WORKLOAD_REGISTRY.names()))
+    try:
+        workload["params"] = validate_params(
+            workload["params"],
+            WORKLOAD_REGISTRY.metadata(recipe).params,
+            "workload.params")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+
+    sweep = doc.get("sweep")
+    fault = doc.get("fault")
+    if sweep is not None and fault is not None:
+        raise SchemaError(f"{where}: 'sweep:' and 'fault:' are "
+                          f"mutually exclusive — a scenario is either "
+                          f"a seeded campaign sweep or one explicit "
+                          f"fault plan")
+
+    normalized: Dict[str, Any] = {
+        "scenario": name,
+        "description": description,
+        "workload": workload,
+        "machine": machine,
+        "bus": bus,
+        "sweep": None,
+        "fault": None,
+        "expect": _validate_expect(doc.get("expect"), where),
+        "max_events": max_events,
+    }
+
+    if sweep is not None:
+        normalized["sweep"] = _validate_sweep(sweep, where)
+        _check_sweep_constraints(doc, normalized, where)
+        # The campaign machinery owns every key sweep mode rejects;
+        # drop the defaults those sections just picked up so the
+        # normalized document itself re-validates (the canonical
+        # round-trip contract).
+        normalized["workload"]["params"] = None
+        for section, allowed in SWEEP_ALLOWED.items():
+            normalized[section] = {key: normalized[section][key]
+                                   for key in allowed}
+    elif fault is not None:
+        normalized["fault"] = _validate_fault(fault, where)
+    return normalized
+
+
+def _validate_sweep(sweep: Any, where: str) -> Dict[str, Any]:
+    try:
+        sweep = validate_params(_require_mapping(sweep, "sweep"),
+                                SWEEP_SPECS, "sweep")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+    seeds = sweep["seeds"]
+    if isinstance(seeds, list):
+        sweep["seeds"] = _int_list(seeds, f"{where}: sweep.seeds")
+        if not sweep["seeds"]:
+            raise SchemaError(f"{where}: sweep.seeds: must not be "
+                              f"empty")
+    elif seeds < 1:
+        raise SchemaError(f"{where}: sweep.seeds: a seed count must "
+                          f"be >= 1")
+    if sweep["kinds"] is not None:
+        sweep["kinds"] = _name_list(sweep["kinds"], FAULT_REGISTRY,
+                                    f"{where}: sweep.kinds")
+    return sweep
+
+
+def _check_sweep_constraints(doc: Mapping[str, Any],
+                             normalized: Mapping[str, Any],
+                             where: str) -> None:
+    """Sweep mode delegates wholesale to the campaign machinery; any
+    knob the campaign does not take is rejected, not ignored."""
+    if normalized["expect"] is not None:
+        raise SchemaError(
+            f"{where}: 'expect:' is an explicit-mode section; a sweep "
+            f"always runs the full invariant battery per seed")
+    if normalized["workload"]["recipe"] != "generated":
+        raise SchemaError(
+            f"{where}: workload.recipe: a sweep always uses the "
+            f"'generated' workload (per-seed scenarios come from the "
+            f"campaign's workload generator), "
+            f"got {normalized['workload']['recipe']!r}")
+    given = _require_mapping(doc.get("workload"), "workload")
+    if given.get("params"):
+        raise SchemaError(
+            f"{where}: workload.params: a sweep derives workload "
+            f"parameters from each seed; params are not accepted")
+    for section, allowed in SWEEP_ALLOWED.items():
+        for key in _require_mapping(doc.get(section), section):
+            if key not in allowed:
+                raise SchemaError(
+                    f"{where}: {section}.{key}: not available in "
+                    f"sweep mode (the campaign machinery owns it); "
+                    f"sweep scenarios may set "
+                    + ", ".join(f"{section}.{name}"
+                                for name in allowed))
+
+
+def _validate_fault(fault: Any, where: str) -> Dict[str, Any]:
+    try:
+        fault = validate_params(_require_mapping(fault, "fault"),
+                                FAULT_SPECS, "fault")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+    kind = fault["kind"]
+    if kind not in FAULT_REGISTRY:
+        raise SchemaError(f"{where}: fault.kind: "
+                          + unknown_name_message(
+                              "fault kind", kind,
+                              FAULT_REGISTRY.names()))
+    try:
+        fault["params"] = validate_params(
+            fault["params"], FAULT_REGISTRY.metadata(kind).params,
+            "fault.params")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+    return fault
+
+
+def _validate_expect(expect: Any,
+                     where: str) -> Optional[Dict[str, Any]]:
+    if expect is None:
+        return None
+    try:
+        expect = validate_params(_require_mapping(expect, "expect"),
+                                 EXPECT_SPECS, "expect")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+    if expect["invariants"] is not None:
+        expect["invariants"] = _name_list(
+            expect["invariants"], CHECK_REGISTRY,
+            f"{where}: expect.invariants")
+    else:
+        expect["invariants"] = list(DEFAULT_CHECKS)
+    counters: Dict[str, Dict[str, Optional[int]]] = {}
+    for counter, bounds in (expect["counters"] or {}).items():
+        try:
+            bounds = validate_params(
+                _require_mapping(bounds, f"expect.counters.{counter}"),
+                COUNTER_BOUND_SPECS, f"expect.counters.{counter}")
+        except RegistryError as error:
+            raise SchemaError(f"{where}: {error}") from None
+        if all(bounds[key] is None for key in ("min", "max", "equals")):
+            raise SchemaError(
+                f"{where}: expect.counters.{counter}: set at least "
+                f"one of min, max, equals")
+        if bounds["equals"] is not None and (
+                bounds["min"] is not None or bounds["max"] is not None):
+            raise SchemaError(
+                f"{where}: expect.counters.{counter}: equals excludes "
+                f"min/max")
+        counters[counter] = bounds
+    expect["counters"] = counters
+    return expect

@@ -1,0 +1,44 @@
+"""Machine-shape presets: named cluster topologies scenarios refer to.
+
+A scenario names a shape (``machine: {shape: quad}``) instead of
+re-spelling :class:`~repro.config.MachineConfig` numbers; explicit
+``machine:`` keys override the preset field-by-field.  Presets register
+like everything else, so ``repro scenario list`` shows them and an
+unknown name gets a did-you-mean error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .registry import EntryMetadata, Registry
+
+#: name -> MachineConfig keyword overrides.
+SHAPE_REGISTRY: Registry[Dict[str, Any]] = Registry("machine shape")
+
+
+def register_shape(name: str, config: Dict[str, Any],
+                   description: str) -> None:
+    SHAPE_REGISTRY.register(name, dict(config),
+                            EntryMetadata(description=description))
+
+
+def shape_config(name: str) -> Dict[str, Any]:
+    """A fresh copy of the preset's MachineConfig kwargs."""
+    return dict(SHAPE_REGISTRY.get(name))
+
+
+register_shape("small", {"n_clusters": 3},
+               "the default test machine: three clusters on the dual "
+               "bus (fullbacks possible)")
+register_shape("dual", {"n_clusters": 2},
+               "the section 7.1 minimum: two clusters "
+               "(quarterback/halfback only)")
+register_shape("quad", {"n_clusters": 4},
+               "four clusters: the bench OLTP shape")
+register_shape("wide8", {"n_clusters": 8},
+               "eight clusters: room for spread placement and "
+               "multi-victim compound faults")
+register_shape("paper-max", {"n_clusters": 32},
+               "the section 7.1 maximum: thirty-two clusters on one "
+               "dual bus")

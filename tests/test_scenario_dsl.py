@@ -1,0 +1,357 @@
+"""The declarative scenario subsystem: yamlite, registries, schema,
+compilation, and the byte-identity gate against the campaign engine.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.faults import CampaignPlan
+from repro.faults.kinds import FAULT_REGISTRY, fault_kinds_markdown
+from repro.scenario import yamlite
+from repro.scenario.compile import compile_scenario, load_scenario
+from repro.scenario.registry import (DuplicateNameError, EntryMetadata,
+                                     ParamSpec, Registry, RegistryError,
+                                     UnknownNameError, validate_params)
+from repro.scenario.runner import (run_compiled, run_paths,
+                                   scenario_files, validate_paths)
+from repro.scenario.schema import SchemaError, validate_scenario
+from repro.scenario.workloads import WORKLOAD_REGISTRY
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+CORPUS = REPO / "examples" / "scenarios"
+
+
+# -- yamlite -----------------------------------------------------------
+
+
+def test_yamlite_parses_the_subset():
+    doc = yamlite.loads("""
+# full-line comment
+scenario: demo
+count: 3
+rate: 0.25
+big: 1_000_000
+sci: 1e3
+on: true
+off: false
+nothing: null
+quoted: "a: b # not a comment"
+inline: [a, 2, 3.5, true, null]
+block:
+  - first
+  - 2
+nested:
+  inner:
+    deep: yes-a-string   # trailing comment
+""")
+    assert doc == {
+        "scenario": "demo", "count": 3, "rate": 0.25,
+        "big": 1_000_000, "sci": 1000.0, "on": True, "off": False,
+        "nothing": None, "quoted": "a: b # not a comment",
+        "inline": ["a", 2, 3.5, True, None],
+        "block": ["first", 2],
+        "nested": {"inner": {"deep": "yes-a-string"}},
+    }
+
+
+def test_yamlite_round_trip():
+    value = {
+        "scenario": "rt", "n": 7, "f": 0.5, "t": True, "z": None,
+        "s": "needs: quoting", "lst": [1, "two", None],
+        "nested": {"a": {"b": "c"}, "empty_list": []},
+    }
+    assert yamlite.loads(yamlite.dumps(value)) == value
+
+
+@pytest.mark.parametrize("text,fragment", [
+    ("\tkey: 1", "tabs"),
+    ("key: &anchor", "unsupported YAML construct"),
+    ("key: {a: 1}", "unsupported YAML construct"),
+    ("list:\n  - a: 1", "lists of mappings"),
+    ("a: 1\na: 2", "duplicate key"),
+    ("a:\n    b: 1\n   c: 2", "unexpected indent"),
+    ("just a bare line", "expected 'key: value'"),
+])
+def test_yamlite_rejects_unsupported_constructs(text, fragment):
+    with pytest.raises(yamlite.YamlError) as err:
+        yamlite.loads(text, source="doc.yaml")
+    assert fragment in str(err.value)
+    assert "doc.yaml:" in str(err.value)  # line-numbered
+
+
+# -- the registry core -------------------------------------------------
+
+
+def test_registry_duplicate_name_raises():
+    registry = Registry("widget")
+    registry.register("a", 1, EntryMetadata(description="first"))
+    with pytest.raises(DuplicateNameError):
+        registry.register("a", 2, EntryMetadata(description="again"))
+
+
+def test_registry_unknown_name_suggests():
+    registry = Registry("widget")
+    registry.register("pipeline", 1, EntryMetadata(description="x"))
+    with pytest.raises(UnknownNameError) as err:
+        registry.get("pipelnie")
+    message = str(err.value)
+    assert "unknown widget 'pipelnie'" in message
+    assert "did you mean 'pipeline'?" in message
+    assert err.value.suggestion == "pipeline"
+
+
+def test_validate_params_unknown_key_and_choices():
+    specs = {
+        "stages": ParamSpec(int, "stages", default=3),
+        "mode": ParamSpec(str, "mode", default=None, nullable=True,
+                          choices=("quarterback", "halfback")),
+    }
+    with pytest.raises(RegistryError) as err:
+        validate_params({"stgaes": 4}, specs, "workload.params")
+    assert "did you mean 'stages'?" in str(err.value)
+    with pytest.raises(RegistryError) as err:
+        validate_params({"mode": "quarterbck"}, specs, "w")
+    assert "did you mean 'quarterback'?" in str(err.value)
+    # bool is not an int; ints coerce to float params, not vice versa
+    with pytest.raises(RegistryError):
+        validate_params({"stages": True}, specs, "w")
+    assert validate_params({}, specs, "w") == {"stages": 3,
+                                               "mode": None}
+
+
+# -- schema ------------------------------------------------------------
+
+
+def _base_doc(**extra):
+    doc = {"scenario": "t", "workload": {"recipe": "pipeline"}}
+    doc.update(extra)
+    return doc
+
+
+def test_schema_rejects_unknown_top_level_key():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario(_base_doc(workloda={"recipe": "tty"}))
+    assert "did you mean 'workload'?" in str(err.value)
+
+
+def test_schema_rejects_unknown_recipe_and_kind():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario({"scenario": "t",
+                           "workload": {"recipe": "pipelin"}})
+    assert "did you mean 'pipeline'?" in str(err.value)
+    with pytest.raises(SchemaError) as err:
+        validate_scenario(_base_doc(fault={"kind": "time_crsh",
+                                           "params": {"cluster": 0,
+                                                      "at": 5000}}))
+    assert "did you mean 'time_crash'?" in str(err.value)
+
+
+def test_schema_rejects_unknown_fault_param():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario(_base_doc(
+            fault={"kind": "time_crash",
+                   "params": {"cluster": 0, "att": 5000}}))
+    assert "did you mean 'at'?" in str(err.value)
+
+
+def test_schema_rejects_bad_enum_value():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario(_base_doc(
+            machine={"server_inbox_policy": "defr"}))
+    assert "did you mean 'defer'?" in str(err.value)
+
+
+def test_schema_sweep_and_fault_are_exclusive():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario({"scenario": "t", "sweep": {"seeds": 2},
+                           "fault": {"kind": "time_crash",
+                                     "params": {"cluster": 0,
+                                                "at": 1}}})
+    assert "mutually exclusive" in str(err.value)
+
+
+def test_schema_sweep_rejects_campaign_owned_knobs():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario({"scenario": "t", "sweep": {"seeds": 2},
+                           "machine": {"server_inbox_limit": 4}})
+    assert "sweep mode" in str(err.value)
+    with pytest.raises(SchemaError) as err:
+        validate_scenario({"scenario": "t", "sweep": {"seeds": 2},
+                           "workload": {"recipe": "tty"}})
+    assert "'generated'" in str(err.value)
+
+
+def test_schema_missing_required_param_names_it():
+    with pytest.raises(SchemaError) as err:
+        validate_scenario(_base_doc(
+            fault={"kind": "time_crash", "params": {"cluster": 0}}))
+    assert "missing required key 'at'" in str(err.value)
+
+
+# -- compile and round-trip -------------------------------------------
+
+
+def test_compile_round_trips_through_canonical_yaml():
+    for path in sorted(CORPUS.glob("*.yaml")):
+        compiled = load_scenario(str(path))
+        reparsed = compile_scenario(
+            yamlite.loads(compiled.canonical_yaml()), source="rt")
+        assert reparsed.canonical() == compiled.canonical(), path.name
+
+
+def test_compile_sweep_builds_campaign_plan():
+    compiled = compile_scenario({
+        "scenario": "s",
+        "sweep": {"seeds": 4, "base_seed": 10,
+                  "kinds": ["time_crash", "proc_fail"]},
+        "machine": {"shape": "quad"},
+    })
+    assert compiled.mode == "sweep"
+    assert compiled.campaign == CampaignPlan(
+        seeds=(10, 11, 12, 13), n_clusters=4,
+        kinds=("time_crash", "proc_fail"))
+
+
+def test_corpus_validates_and_covers_every_fault_kind():
+    paths = scenario_files(str(CORPUS))
+    assert len(paths) >= 10
+    assert all(error is None for _, error in validate_paths(paths))
+    covered = set()
+    for path in paths:
+        compiled = load_scenario(path)
+        if compiled.fault_plan is not None:
+            covered.add(compiled.fault_plan.kind)
+        elif compiled.campaign is not None:
+            kinds = compiled.campaign.kinds or FAULT_REGISTRY.names()
+            seeds = compiled.campaign.seeds
+            covered.update(kinds[seed % len(kinds)] for seed in seeds)
+    assert covered == set(FAULT_REGISTRY.names())
+
+
+def test_corpus_includes_backpressure_smokes():
+    names = {load_scenario(path).name
+             for path in scenario_files(str(CORPUS))}
+    assert {"smoke-inbox-defer", "smoke-inbox-shed"} <= names
+
+
+# -- the byte-identity gate -------------------------------------------
+
+
+SWEEP_YAML = """
+scenario: identity-gate
+sweep:
+  seeds: 6
+  base_seed: 0
+  kinds: [time_crash, sync_crash, proc_fail]
+"""
+
+
+def test_scenario_sweep_report_is_byte_identical_to_python_plan():
+    compiled = compile_scenario(yamlite.loads(SWEEP_YAML), "gate")
+    reference = CampaignPlan(
+        seeds=tuple(range(6)),
+        kinds=("time_crash", "sync_crash", "proc_fail")).run(jobs=1)
+    expected = json.dumps(reference.as_dict(), sort_keys=True)
+    serial = run_compiled(compiled, jobs=1)
+    assert json.dumps(serial.report, sort_keys=True) == expected
+    parallel = run_compiled(compiled, jobs=2)
+    assert json.dumps(parallel.report, sort_keys=True) == expected
+    assert serial.passed and parallel.passed
+
+
+# -- explicit-mode execution ------------------------------------------
+
+
+def test_explicit_scenario_runs_and_checks(tmp_path):
+    path = tmp_path / "crash.yaml"
+    path.write_text("""
+scenario: tiny-crash
+workload:
+  recipe: tty
+  params:
+    writers: 2
+    lines: 5
+machine:
+  shape: small
+fault:
+  kind: time_crash
+  params:
+    cluster: 1
+    at: 9000
+""")
+    outcomes = run_paths([str(path)])
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert outcome.mode == "explicit"
+    assert outcome.passed, outcome.violations
+    assert outcome.fault == "time_crash(at=9000 cluster=1)"
+    assert outcome.digest
+
+
+def test_explicit_counter_expectations_fail_loudly(tmp_path):
+    path = tmp_path / "bounds.yaml"
+    path.write_text("""
+scenario: impossible-bounds
+workload:
+  recipe: tty
+  params:
+    writers: 1
+    lines: 3
+expect:
+  invariants: [runnability]
+  counters:
+    bus.transmissions:
+      max: 0
+""")
+    outcome = run_paths([str(path)])[0]
+    assert not outcome.passed
+    assert any("bus.transmissions" in violation
+               for violation in outcome.violations)
+
+
+def test_runner_turns_schema_errors_into_failed_outcomes(tmp_path):
+    path = tmp_path / "broken.yaml"
+    path.write_text("scenario: broken\nworkload:\n  recipe: nope\n")
+    outcome = run_paths([str(path)])[0]
+    assert outcome.mode == "error"
+    assert not outcome.passed
+    assert "did you mean" in outcome.violations[0]
+
+
+# -- plugin registration end to end -----------------------------------
+
+
+def test_new_workload_plugin_is_reachable_from_yaml():
+    from repro.scenario.workloads import register_workload
+
+    def build(machine, params):
+        return []
+
+    register_workload("test_noop", build,
+                      EntryMetadata(description="temporary"))
+    try:
+        compiled = compile_scenario(
+            {"scenario": "p", "workload": {"recipe": "test_noop"}})
+        assert compiled.workload_recipe == "test_noop"
+    finally:
+        WORKLOAD_REGISTRY.remove("test_noop")
+    with pytest.raises(SchemaError):
+        compile_scenario({"scenario": "p",
+                          "workload": {"recipe": "test_noop"}})
+
+
+# -- docs cannot drift -------------------------------------------------
+
+
+def test_docs_fault_table_matches_registry():
+    import re
+    text = (REPO / "docs" / "faults.md").read_text()
+    match = re.search(
+        r"<!-- fault-kinds:begin[^>]*-->\n(.*?)\n<!-- fault-kinds:end -->",
+        text, re.S)
+    assert match, "docs/faults.md lost its fault-kinds markers"
+    assert match.group(1) == fault_kinds_markdown()
