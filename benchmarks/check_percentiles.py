@@ -5,8 +5,11 @@ Validates either artifact kind:
 
 * A ``BENCH_core.json`` produced by ``repro bench`` — every workload
   that serves requests (oltp, pipeline, fault-campaign) must carry a
-  ``latency.request.p99``, and the ``latency_under_fault`` section, if
-  present, must have a non-null p99 per fault regime.
+  ``latency.request.p99``; the ``latency_under_fault`` section, if
+  present, must have a non-null p99 per fault regime; and the
+  ``recovery_shootout`` section (F5), if present, must carry a non-null
+  request p99 for every (design, fault kind) cell plus both detection
+  latencies.
 * A campaign report JSON produced by ``repro campaign --json`` — the
   aggregate ``latency.request.p99`` and the per-fault-kind p99 curve
   must be present and non-null.
@@ -75,7 +78,40 @@ def check_bench(data: Dict[str, Any], errors: List[str]
                            errors)
             curves[regime] = (entry.get("request") or {}).get("p99")
         extracted["latency_under_fault_p99"] = curves
+    shootout = data.get("recovery_shootout")
+    if shootout is not None:
+        extracted["recovery_shootout_p99"] = _check_shootout(
+            shootout, errors)
     return extracted
+
+
+def _check_shootout(shootout: Dict[str, Any],
+                    errors: List[str]) -> Dict[str, Any]:
+    """The F5 gate: every (design, kind) p99 present and non-null, and
+    both crash-detection latencies recorded."""
+    designs = shootout.get("designs") or []
+    kinds = shootout.get("kinds") or []
+    if not designs:
+        errors.append("recovery_shootout.designs: missing or empty")
+    if not kinds:
+        errors.append("recovery_shootout.kinds: missing or empty")
+    p99 = shootout.get("p99_by_design") or {}
+    for design in designs:
+        curve = p99.get(design)
+        if not isinstance(curve, dict):
+            errors.append(
+                f"recovery_shootout.p99_by_design.{design}: missing")
+            continue
+        for kind in kinds:
+            if curve.get(kind) is None:
+                errors.append(f"recovery_shootout.p99_by_design."
+                              f"{design}.{kind}: missing or null")
+    detection = shootout.get("detection_latency") or {}
+    for field in ("poll", "heartbeat"):
+        if detection.get(field) is None:
+            errors.append(f"recovery_shootout.detection_latency."
+                          f"{field}: missing or null")
+    return p99
 
 
 def check_campaign(data: Dict[str, Any], errors: List[str]

@@ -232,6 +232,39 @@ COMMENTARY = {
         " bus), and every regime still delivers exactly one reply per"
         " transaction — the latency *is* the whole price.  Curves land"
         " in `BENCH_core.json` under `latency_under_fault`."),
+    "F5": (
+        "## F5 — recovery-design shootout: four designs over the fault"
+        " campaign, plus heartbeat vs poll detection",
+        "**Paper claim (section 2):** the survey dismisses the era's"
+        " alternatives qualitatively; F5 makes the comparison"
+        " quantitative.  Four recovery designs — the paper's dual-backup"
+        " rollforward (`auragen`), frequent whole-state checkpointing"
+        " (`checkpoint`, every 8 ops), LLFT-style per-input"
+        " reconciliation (`llft`, arXiv:1004.1864) and message logging"
+        " with sparse checkpoints (`msglog`, arXiv:0911.3092) — protect"
+        " the same OLTP bank server while the seeded fault-campaign"
+        " machinery aims six fault kinds at the machine.  All four are"
+        " knob settings of the *same* backup mechanism, so only the"
+        " policy varies.  **How to read the table:** one row per"
+        " (design, fault kind) cell; `request p99` is the Send→reply"
+        " tail under that fault (virtual ticks), `recovery mean` the"
+        " crash-handling latency (None for the kinds that never kill a"
+        " cluster), and `syncs`/`ckpts` show what the steady state"
+        " paid.  Compare designs down a fixed fault kind; compare fault"
+        " kinds along a fixed design (scenario files reach the same"
+        " matrix via the `baseline:` block —"
+        " `examples/scenarios/baseline-shootout.yaml`):",
+        "**Shape check:** every cell completes — the designs trade"
+        " cost, never correctness.  `auragen` owns the steady-state"
+        " tail (never beaten on the non-crash kinds) while `llft` pays"
+        " ~2.7× its p99 for per-input syncs; under `time_crash` the"
+        " long-replay designs (`checkpoint`, `llft`) pay >10× the"
+        " rollforward p99.  The second table prices *detection*: the"
+        " resilience layer's heartbeat monitor (interval 4000, 2"
+        " misses; see `docs/resilience.md`) detects the same crash in"
+        " ~9k ticks against the poll detector's ~50k — a 5.5× cut,"
+        " asserted in the benchmark and in `tests/test_resilience.py`."
+        "  Curves land in `BENCH_core.json` under `recovery_shootout`."),
     "F2": (
         "## F2 — seeded fault-injection campaign (sections 7.8–7.10)",
         "**Why random timing?**  The grid experiments crash clusters at"
@@ -330,6 +363,7 @@ SUMMARY = """
 | F2 | recovery survives any single-failure timing | all seeded scenarios pass |
 | F3 | dual bus masks transient bus faults | identical output at every loss rate |
 | F4 | FT cost hides off the critical path | crash leaves p50 untouched; p99 pays |
+| F5 | section 2 rivals priced quantitatively | auragen owns the tail; heartbeat 5.5× faster |
 | P1 | (infrastructure) simulator-core fast path | ≥1.3× events/sec, byte-identical traces |
 | P2 | (infrastructure) parallel campaign engine | ≥2× on ≥4 cores, byte-identical reports |
 """
@@ -370,8 +404,8 @@ def capture_tables() -> dict:
 
 def main() -> None:
     tables = capture_tables()
-    order = [f"E{i}" for i in range(1, 14)] + ["F2", "F3", "F4", "P1",
-                                               "P2"]
+    order = [f"E{i}" for i in range(1, 14)] + ["F2", "F3", "F4", "F5",
+                                               "P1", "P2"]
     missing = [tag for tag in order if tag not in tables]
     if missing:
         raise SystemExit(f"missing experiment tables: {missing}")

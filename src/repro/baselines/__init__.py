@@ -1,11 +1,24 @@
-"""Comparison baselines from the paper's section 2 survey."""
+"""Comparison baselines: the paper's section 2 survey regimes plus the
+recovery-design shootout (experiment F5)."""
 
 from .checkpointing import perform_checkpoint
 from .comparison import RegimeResult, compare_regimes, run_regime
+from .designs import (DESIGN_ORDER, DESIGN_REGISTRY, DesignCell,
+                      RecoveryDesign, ShootoutReport, design_names,
+                      register_design, run_design_scenario, run_shootout)
 
 __all__ = [
     "perform_checkpoint",
     "RegimeResult",
     "compare_regimes",
     "run_regime",
+    "DESIGN_ORDER",
+    "DESIGN_REGISTRY",
+    "DesignCell",
+    "RecoveryDesign",
+    "ShootoutReport",
+    "design_names",
+    "register_design",
+    "run_design_scenario",
+    "run_shootout",
 ]

@@ -297,6 +297,10 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
                       f"{report.get('scenarios', 0)} seeds")
         elif outcome.mode == "explicit":
             detail = outcome.fault or "failure-free"
+        elif outcome.mode == "baseline":
+            report = outcome.report or {}
+            detail = (f"{len(report.get('designs') or ())} designs x "
+                      f"{len(report.get('kinds') or ())} kinds")
         else:
             detail = "schema/parse error"
         rows.append([outcome.name, outcome.mode,

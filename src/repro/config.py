@@ -117,6 +117,91 @@ class BusFaultConfig:
 
 
 @dataclass
+class ResilienceConfig:
+    """Gates for the in-sim resilience services (:mod:`repro.resilience`).
+
+    Every service is **off** by default; with all of them off the layer
+    is never installed and the machine's traces stay byte-identical to a
+    build without it — the same hard constraint ``BusFaultConfig``
+    obeys.  Each flag enables one registered service; the knobs beside
+    it only matter while that service is on.
+    """
+
+    #: Heartbeat-based crash detection, augmenting the poll-based
+    #: detector in :mod:`repro.recovery.detector`.  Detection latency is
+    #: roughly ``heartbeat_interval * heartbeat_miss_threshold`` versus
+    #: the poll detector's ``poll_interval``.
+    heartbeat: bool = False
+    #: Beacon period in ticks (per cluster, staggered by cluster id).
+    heartbeat_interval: Ticks = 5_000
+    #: Consecutive missed beacons before a peer is suspected dead.
+    heartbeat_miss_threshold: int = 3
+    #: How far into the run the monitor models beacon loss when the bus
+    #: fault layer is active (bounds the false-positive scan so the
+    #: event heap still drains).
+    heartbeat_horizon: Ticks = 240_000
+    #: Circuit breaker around the kernel's user-channel send path.
+    breaker: bool = False
+    #: Consecutive delivery failures to one cluster before it opens.
+    breaker_failure_threshold: int = 3
+    #: Ticks an open breaker waits before letting a probe through.
+    breaker_cooldown: Ticks = 30_000
+    #: Open/half-open cycles allowed before giving up on a destination.
+    breaker_max_probes: int = 8
+    #: Bulkhead: partition the bounded server inbox by client class
+    #: (the client's home cluster modulo ``bulkhead_partitions``), each
+    #: class getting its own ``server_inbox_limit`` quota.
+    bulkhead: bool = False
+    bulkhead_partitions: int = 2
+    #: Dead-letter queue capturing shed inbox arrivals, garbled bus
+    #: transmissions and breaker-rejected sends instead of dropping
+    #: them silently.
+    dlq: bool = False
+    #: Records retained per cluster (oldest are evicted permanently).
+    dlq_limit: int = 64
+    #: Ticks before a shed record is offered back to the inbox.
+    dlq_retry_after: Ticks = 20_000
+    #: Redelivery attempts per record before it is declared dead.
+    dlq_max_retries: int = 3
+    #: Idempotent-receiver guard: suppress a second PRIMARY_DEST
+    #: delivery of the same (source cluster, message seqno) to the same
+    #: destination process.
+    idempotent: bool = False
+    #: Distinct message keys remembered per cluster (sliding window).
+    idempotent_window: int = 4096
+
+    @property
+    def enabled(self) -> bool:
+        return (self.heartbeat or self.breaker or self.bulkhead
+                or self.dlq or self.idempotent)
+
+    def validate(self) -> "ResilienceConfig":
+        if self.heartbeat_interval < 1:
+            raise ConfigError("heartbeat_interval must be >= 1")
+        if self.heartbeat_miss_threshold < 1:
+            raise ConfigError("heartbeat_miss_threshold must be >= 1")
+        if self.heartbeat_horizon < 1:
+            raise ConfigError("heartbeat_horizon must be >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ConfigError("breaker_cooldown must be >= 1")
+        if self.breaker_max_probes < 1:
+            raise ConfigError("breaker_max_probes must be >= 1")
+        if self.bulkhead_partitions < 1:
+            raise ConfigError("bulkhead_partitions must be >= 1")
+        if self.dlq_limit < 1:
+            raise ConfigError("dlq_limit must be >= 1")
+        if self.dlq_retry_after < 1:
+            raise ConfigError("dlq_retry_after must be >= 1")
+        if self.dlq_max_retries < 0:
+            raise ConfigError("dlq_max_retries must be >= 0")
+        if self.idempotent_window < 1:
+            raise ConfigError("idempotent_window must be >= 1")
+        return self
+
+
+@dataclass
 class MachineConfig:
     """Shape and policy of a simulated Auragen 4000 machine.
 
@@ -173,6 +258,10 @@ class MachineConfig:
     #: :class:`BusFaultConfig`).  The machine stays free of runtime
     #: randomness — fault outcomes come from a seeded hash stream.
     bus_faults: BusFaultConfig = field(default_factory=BusFaultConfig)
+    #: In-sim resilience services (all off by default; see
+    #: :class:`ResilienceConfig` and :mod:`repro.resilience`).  With
+    #: every flag off the service layer is never installed.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     #: Workload RNG seed (the machine itself uses no randomness).
     seed: int = 0
 
@@ -203,6 +292,7 @@ class MachineConfig:
                 f"server_inbox_policy must be 'defer' or 'shed', "
                 f"got {self.server_inbox_policy!r}")
         self.bus_faults.validate()
+        self.resilience.validate()
         return self
 
 

@@ -37,6 +37,7 @@ from ..paging.store import PageStore
 from ..fs.shadowfs import ShadowFS
 from ..programs.program import Program
 from ..recovery.detector import schedule_detection
+from ..resilience.layer import install_services
 from ..servers import (TtyDevice, make_file_server_harness,
                        make_page_server_harness, make_raw_server_harness,
                        make_tty_server_harness, register_server_actions)
@@ -92,6 +93,10 @@ class Machine:
         self._crashed: set = set()
         self.tty_device = TtyDevice()
         self._tty_input_seq = 0
+        # Same post-construction idiom as the bus fault layer: with every
+        # service disabled this is None, no hook fires, and the machine's
+        # traces stay byte-identical to a build without the layer.
+        self.resilience = install_services(self)
         self._boot_servers()
 
     # ------------------------------------------------------------------
@@ -239,6 +244,8 @@ class Machine:
             self._crashed.add(cluster_id)
             self.clusters[cluster_id].crash()
             schedule_detection(self.kernels, cluster_id)
+            if self.resilience is not None:
+                self.resilience.on_crash(cluster_id)
 
         if at is None:
             do_crash()
@@ -295,6 +302,8 @@ class Machine:
         fresh.on_exit = self._record_exit
         fresh.on_fatal = self._on_fatal_hardware
         register_server_actions(fresh)
+        if self.resilience is not None:
+            self.resilience.attach_kernel(fresh)
         self.kernels[cluster_id] = fresh
         self.directory.mark_restored(cluster_id)
         self.trace.emit(self.sim.now, "cluster.restore",

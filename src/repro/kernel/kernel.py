@@ -96,6 +96,10 @@ class ClusterKernel:
         #: machine converts it into a clean whole-cluster crash.
         self.on_fatal: Optional[Callable[[ClusterId, str], None]] = None
         self.server_registry: Dict[Pid, Any] = {}   # pid -> server harness
+        #: The machine's resilience service layer (repro.resilience),
+        #: installed post-construction like the bus fault layer; None when
+        #: every service is disabled so no hook below fires.
+        self.resilience = None
         self._next_pid = 1
         self._next_chan = 1
         self._next_msg = 1
@@ -395,6 +399,12 @@ class ClusterKernel:
             self.trace.emit(self.sim.now, "msg.peer_gone", pid=pcb.pid,
                             chan=entry.channel_id)
             return True
+        if self.resilience is not None \
+                and not self.resilience.allow_send(self, pcb, entry,
+                                                   payload, size, kind):
+            # An open circuit breaker consumed the send (diverted to the
+            # dead-letter queue or dropped with accounting).
+            return True
         message = self._build_channel_message(pcb, entry, payload, size, kind)
         entry.changed_since_sync = True
         self.cluster.send(message)
@@ -544,6 +554,9 @@ class ClusterKernel:
         pcb = self.pcbs.get(delivery.pid)
         is_server = (delivery.pid in self.server_registry
                      or (pcb is not None and pcb.is_server))
+        if self.resilience is not None \
+                and self.resilience.check_duplicate(self, message, delivery):
+            return
         queued = QueuedMessage(message=message, arrival_seqno=seqno,
                                arrival_time=self.sim.now)
         # Queue-based load leveling (off by default): a bounded server
@@ -552,9 +565,12 @@ class ClusterKernel:
         # DEST_BACKUP copy still exists; see docs/performance.md).
         limit = self.config.server_inbox_limit
         if limit is not None and is_server and not entry.kernel_internal \
-                and len(entry.queue) >= limit:
+                and (len(entry.queue) >= limit if self.resilience is None
+                     else self.resilience.inbox_full(self, entry, limit)):
             if self.config.server_inbox_policy == "shed":
                 self.metrics.incr("inbox.shed")
+                if self.resilience is not None:
+                    self.resilience.on_shed(self, message, delivery)
                 return
             entry.overflow.append(queued)
             self.metrics.incr("inbox.deferred")
@@ -562,6 +578,8 @@ class ClusterKernel:
                                      len(entry.overflow))
             return
         entry.queue.append(queued)
+        if self.resilience is not None:
+            self.resilience.note_accepted(self, message, delivery)
         self.metrics.incr("msg.delivered_primary")
         self.metrics.record_hist(
             "queue.depth.server" if is_server else "queue.depth.user",
@@ -625,7 +643,11 @@ class ClusterKernel:
             from ..recovery import procfail
             procfail.handle_proc_failed(self, payload)
         elif message.kind is MessageKind.CRASH_NOTICE:
-            pass  # reserved: detection is poll-based in this implementation
+            # Baseline detection is poll-based (repro.recovery.detector);
+            # when the heartbeat service is on, this leg also carries its
+            # probe/ack verification traffic (repro.resilience.heartbeat).
+            if self.resilience is not None:
+                self.resilience.on_kernel_notice(self, message)
         else:
             rollforward.handle_kernel_payload(self, payload)
 

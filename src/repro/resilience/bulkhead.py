@@ -1,0 +1,59 @@
+"""Bulkhead partitioning of the bounded server inbox (the `bulkhead`
+service).
+
+The bounded inbox (``server_inbox_limit``) caps each server routing
+entry independently, so one flooding client can fill the server's whole
+admission budget while arrivals from well-behaved clients queue behind
+the same policy.  The bulkhead partitions admission by *client class* —
+the client's home cluster modulo ``bulkhead_partitions`` — and charges
+each class's aggregate occupancy (across all of the server's entries in
+that class) against its own ``server_inbox_limit`` quota.  A flooding
+class exhausts only its own partition; the others keep admitting.
+
+Occupancy is computed on demand from the routing table rather than
+maintained incrementally, so promotions, queue transfers and crash
+repair can never desynchronise a counter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import ResilienceConfig
+from ..messages.routing import RoutingEntry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.machine import Machine
+    from ..kernel.kernel import ClusterKernel
+
+
+class BulkheadLayer:
+    """Partitioned admission control for bounded server inboxes."""
+
+    def __init__(self, machine: "Machine",
+                 config: ResilienceConfig) -> None:
+        self.machine = machine
+        self.partitions = config.bulkhead_partitions
+
+    def partition_of(self, entry: RoutingEntry) -> int:
+        """The client class an entry belongs to (unknown peers share
+        class 0)."""
+        peer = entry.peer_cluster if entry.peer_cluster is not None else 0
+        return peer % self.partitions
+
+    def over_limit(self, kernel: "ClusterKernel", entry: RoutingEntry,
+                   limit: int) -> bool:
+        """Is the entry's class at its quota?  Called from the kernel's
+        bounded-inbox branch in place of the per-entry check."""
+        partition = self.partition_of(entry)
+        occupancy = 0
+        for peer_entry in kernel.routing.entries_for_pid(entry.owner_pid):
+            if peer_entry.is_backup or peer_entry.kernel_internal:
+                continue
+            if self.partition_of(peer_entry) == partition:
+                occupancy += len(peer_entry.queue)
+        if occupancy < limit:
+            return False
+        kernel.metrics.incr(
+            f"resilience.bulkhead.overflow.p{partition}")
+        return True

@@ -1,0 +1,78 @@
+"""Idempotent-receiver guard (the `idempotent` service).
+
+The bus fault layer already suppresses link-level duplicates by
+(src, transmission seqno) — retransmissions after a lost ack.  This
+guard sits one level up, at the kernel's primary-delivery path, keyed on
+the message identity that already exists end to end: the sender kernel's
+message seqno (``Message.msg_id``, allocated sequentially per kernel)
+qualified by the sending cluster.  A second PRIMARY_DEST delivery of the
+same (source cluster, msg seqno) to the same destination process is
+suppressed — the case link-level suppression cannot see, e.g. a sender
+whose acknowledgement state died with its cluster re-sending an already
+delivered message to the promoted backup after a failover.
+
+The guard registers a key only when the message is actually accepted
+into the inbox (shed arrivals stay unregistered so a dead-letter
+redelivery is not mistaken for a duplicate), and remembers a sliding
+window of ``idempotent_window`` keys per cluster.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Set, Tuple
+
+from ..config import ResilienceConfig
+from ..messages.message import Delivery, Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.machine import Machine
+    from ..kernel.kernel import ClusterKernel
+
+_Key = Tuple[int, int, int]   # (src_cluster, msg_id, dst_pid)
+
+
+class IdempotentReceiver:
+    """Sliding-window duplicate suppression per receiving cluster."""
+
+    def __init__(self, machine: "Machine",
+                 config: ResilienceConfig) -> None:
+        self.machine = machine
+        self.window = config.idempotent_window
+        self._seen: Dict[int, Set[_Key]] = {}
+        self._order: Dict[int, Deque[_Key]] = {}
+
+    def is_duplicate(self, kernel: "ClusterKernel", message: Message,
+                     delivery: Delivery) -> bool:
+        """True when this exact message was already accepted here for
+        this process — the caller drops the delivery."""
+        if message.kind is not MessageKind.DATA \
+                or message.src_cluster is None:
+            return False
+        key = (message.src_cluster, message.msg_id, delivery.pid)
+        seen = self._seen.get(kernel.cluster_id)
+        if seen is not None and key in seen:
+            kernel.metrics.incr("resilience.idempotent.suppressed")
+            kernel.trace.emit(kernel.sim.now,
+                              "resilience.idempotent.duplicate",
+                              cluster=kernel.cluster_id,
+                              src=message.src_cluster,
+                              seq=message.msg_id, pid=delivery.pid)
+            return True
+        return False
+
+    def register(self, kernel: "ClusterKernel", message: Message,
+                 delivery: Delivery) -> None:
+        """The message was accepted into the inbox: remember its key."""
+        if message.kind is not MessageKind.DATA \
+                or message.src_cluster is None:
+            return
+        key = (message.src_cluster, message.msg_id, delivery.pid)
+        seen = self._seen.setdefault(kernel.cluster_id, set())
+        order = self._order.setdefault(kernel.cluster_id, deque())
+        if key in seen:
+            return
+        seen.add(key)
+        order.append(key)
+        if len(order) > self.window:
+            seen.discard(order.popleft())

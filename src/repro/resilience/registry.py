@@ -1,0 +1,177 @@
+"""The resilience-service registry: named in-sim services scenarios toggle.
+
+Each entry describes one service of the resilience layer
+(:mod:`repro.resilience.services`): the :class:`~repro.config.ResilienceConfig`
+flag that enables it, the tunable knobs it exposes to the scenario DSL's
+``services:`` block, and a one-line description the generated
+``docs/resilience.md`` table is pinned to.  The registry reuses the same
+machinery as the fault-kind, workload and check registries
+(:mod:`repro.scenario.registry`), so ``repro scenario list`` and the
+did-you-mean diagnostics work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..config import ResilienceConfig
+from ..scenario.registry import EntryMetadata, ParamSpec, Registry
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One resilience service: its config gate and its tunable knobs."""
+
+    name: str
+    #: The ``ResilienceConfig`` attribute that turns the service on.
+    flag: str
+    #: YAML knob name -> ``ResilienceConfig`` attribute it sets.
+    knobs: Mapping[str, str]
+
+
+SERVICE_REGISTRY: Registry[ServiceSpec] = Registry("resilience service")
+
+
+def register_service(spec: ServiceSpec,
+                     metadata: EntryMetadata) -> ServiceSpec:
+    """Register a resilience service (the plugin entry point)."""
+    return SERVICE_REGISTRY.register(spec.name, spec, metadata)
+
+
+def service_names():
+    return SERVICE_REGISTRY.names()
+
+
+def resilience_services_markdown() -> str:
+    """The service table in ``docs/resilience.md``, generated from
+    registry metadata so the two cannot drift (a test pins the file
+    content to this function's output)."""
+    lines = ["| service | what it does |", "|---|---|"]
+    for name, _, metadata in SERVICE_REGISTRY.items():
+        lines.append(f"| `{name}` | {metadata.description} |")
+    return "\n".join(lines)
+
+
+def apply_services(config: ResilienceConfig,
+                   services: Mapping[str, Mapping[str, object]]
+                   ) -> ResilienceConfig:
+    """Apply a validated ``services:`` mapping (service name -> knob
+    values) onto a :class:`ResilienceConfig`, enabling each named
+    service.  The scenario compiler calls this; knob values are assumed
+    validated against the registry's :class:`ParamSpec` tables."""
+    for name, knobs in services.items():
+        spec = SERVICE_REGISTRY.get(name)
+        setattr(config, spec.flag, True)
+        for knob, value in (knobs or {}).items():
+            setattr(config, spec.knobs[knob], value)
+    return config.validate()
+
+
+# ----------------------------------------------------------------------
+# the five built-in services
+# ----------------------------------------------------------------------
+
+_DEFAULTS = ResilienceConfig()
+
+
+def _knob(attr: str, description: str) -> ParamSpec:
+    default = getattr(_DEFAULTS, attr)
+    return ParamSpec(type(default), description, default=default)
+
+
+register_service(
+    ServiceSpec(
+        name="heartbeat", flag="heartbeat",
+        knobs={"interval": "heartbeat_interval",
+               "miss_threshold": "heartbeat_miss_threshold",
+               "horizon": "heartbeat_horizon"}),
+    EntryMetadata(
+        description="beacon-based crash detection beside the poll "
+                    "detector: suspects a cluster after N consecutive "
+                    "missed beacons, verifies against a live peer with a "
+                    "probe/ack round trip, and accounts false positives "
+                    "under bus loss",
+        params={
+            "interval": _knob("heartbeat_interval",
+                              "beacon period in ticks"),
+            "miss_threshold": _knob("heartbeat_miss_threshold",
+                                    "consecutive missed beacons before "
+                                    "suspicion"),
+            "horizon": _knob("heartbeat_horizon",
+                             "ticks of beacon-loss modelling under a "
+                             "degraded bus"),
+        }))
+
+register_service(
+    ServiceSpec(
+        name="breaker", flag="breaker",
+        knobs={"failure_threshold": "breaker_failure_threshold",
+               "cooldown": "breaker_cooldown",
+               "max_probes": "breaker_max_probes"}),
+    EntryMetadata(
+        description="circuit breaker on the user-channel send path: "
+                    "consecutive delivery failures to one cluster open "
+                    "it, sends then divert to the dead-letter queue (or "
+                    "drop) until a cooldown probe closes it",
+        params={
+            "failure_threshold": _knob("breaker_failure_threshold",
+                                       "consecutive failures before the "
+                                       "breaker opens"),
+            "cooldown": _knob("breaker_cooldown",
+                              "ticks an open breaker waits before a "
+                              "half-open probe"),
+            "max_probes": _knob("breaker_max_probes",
+                                "open/half-open cycles before the "
+                                "destination is abandoned"),
+        }))
+
+register_service(
+    ServiceSpec(
+        name="bulkhead", flag="bulkhead",
+        knobs={"partitions": "bulkhead_partitions"}),
+    EntryMetadata(
+        description="partitions the bounded server inbox by client "
+                    "class (home cluster modulo partitions), so one "
+                    "flooding class exhausts only its own quota",
+        params={
+            "partitions": _knob("bulkhead_partitions",
+                                "number of client-class partitions"),
+        }))
+
+register_service(
+    ServiceSpec(
+        name="dlq", flag="dlq",
+        knobs={"limit": "dlq_limit",
+               "retry_after": "dlq_retry_after",
+               "max_retries": "dlq_max_retries"}),
+    EntryMetadata(
+        description="dead-letter queue capturing shed inbox arrivals, "
+                    "garbled transmissions and breaker-rejected sends; "
+                    "shed records are drained back into the inbox with "
+                    "bounded retries",
+        params={
+            "limit": _knob("dlq_limit", "records retained per cluster"),
+            "retry_after": _knob("dlq_retry_after",
+                                 "ticks before a shed record is "
+                                 "redelivered"),
+            "max_retries": _knob("dlq_max_retries",
+                                 "redelivery attempts before a record "
+                                 "is declared dead"),
+        }))
+
+register_service(
+    ServiceSpec(
+        name="idempotent", flag="idempotent",
+        knobs={"window": "idempotent_window"}),
+    EntryMetadata(
+        description="idempotent-receiver guard: a second PRIMARY_DEST "
+                    "delivery of the same (source cluster, message "
+                    "seqno) to the same process is suppressed, catching "
+                    "duplicates that survive the bus layer's link-level "
+                    "suppression (e.g. re-sends after a failover)",
+        params={
+            "window": _knob("idempotent_window",
+                            "distinct message keys remembered per "
+                            "cluster"),
+        }))

@@ -49,7 +49,23 @@ class CompiledScenario:
 
     @property
     def mode(self) -> str:
-        return "sweep" if self.campaign is not None else "explicit"
+        if self.campaign is not None:
+            return "sweep"
+        if self.doc["baseline"] is not None:
+            return "baseline"
+        return "explicit"
+
+    @property
+    def baseline(self) -> Optional[Dict[str, Any]]:
+        """The normalized ``baseline:`` block (the F5 shootout spec),
+        or None outside baseline mode."""
+        return self.doc["baseline"]
+
+    @property
+    def services(self) -> Dict[str, Any]:
+        """The normalized ``services:`` block (resilience services to
+        enable on the explicit-mode machines); empty when absent."""
+        return dict(self.doc.get("services") or {})
 
     @property
     def max_events(self) -> int:
@@ -93,6 +109,13 @@ class CompiledScenario:
             if machine[key] is not None:
                 setattr(config, key, machine[key])
         config.bus_faults = self._bus_config()
+        services = self.doc.get("services")
+        if services:
+            # Enabled resilience services are part of the machine under
+            # test (the failure-free reference keeps them too; only bus
+            # degradation is stripped there).
+            from ..resilience.registry import apply_services
+            apply_services(config.resilience, services)
         return config.validate()
 
     def baseline_config(self) -> MachineConfig:

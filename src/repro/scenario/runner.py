@@ -35,7 +35,7 @@ class ScenarioOutcome:
 
     name: str
     source: str
-    mode: str                      #: "sweep" | "explicit" | "error"
+    mode: str          #: "sweep" | "explicit" | "baseline" | "error"
     passed: bool
     violations: List[str] = field(default_factory=list)
     description: str = ""
@@ -58,7 +58,7 @@ class ScenarioOutcome:
             "passed": self.passed,
             "violations": self.violations,
         }
-        if self.mode == "sweep":
+        if self.mode in ("sweep", "baseline"):
             out["report"] = self.report
         elif self.mode == "explicit":
             out.update({
@@ -77,6 +77,8 @@ def run_compiled(compiled: CompiledScenario, jobs: int = 1,
     """Execute one compiled scenario."""
     if compiled.campaign is not None:
         return _run_sweep(compiled, jobs, cache_dir)
+    if compiled.mode == "baseline":
+        return _run_baseline(compiled)
     return _run_explicit(compiled)
 
 
@@ -93,6 +95,37 @@ def _run_sweep(compiled: CompiledScenario, jobs: int,
     return ScenarioOutcome(
         name=compiled.name, source=compiled.source, mode="sweep",
         passed=failure is None, violations=violations,
+        description=compiled.description, report=report.as_dict())
+
+
+def _run_baseline(compiled: CompiledScenario) -> ScenarioOutcome:
+    """Baseline mode: the recovery-design shootout (experiment F5).
+    Pass criterion: every cell whose fault kind is graded survivable
+    completed (all clients got all their replies)."""
+    from ..baselines.designs import DESIGN_ORDER, run_shootout
+    from ..faults.kinds import FAULT_REGISTRY
+    from .shapes import shape_config
+
+    spec = compiled.baseline
+    machine = compiled.doc["machine"]
+    clusters = machine["clusters"]
+    if clusters is None:
+        clusters = shape_config(machine["shape"])["n_clusters"]
+    report = run_shootout(
+        kinds=spec["kinds"],
+        designs=spec["designs"] or list(DESIGN_ORDER),
+        n_clusters=clusters, n_clients=spec["clients"],
+        txns_per_client=spec["txns_per_client"],
+        max_events=compiled.max_events)
+    violations = [
+        f"cell {cell.design}/{cell.kind}: {cell.replies}/"
+        f"{cell.expected_replies} clients completed"
+        for cell in report.cells
+        if FAULT_REGISTRY.get(cell.kind).survivable
+        and not cell.completed]
+    return ScenarioOutcome(
+        name=compiled.name, source=compiled.source, mode="baseline",
+        passed=not violations, violations=violations,
         description=compiled.description, report=report.as_dict())
 
 

@@ -38,7 +38,7 @@ class SchemaError(RegistryError):
 
 TOP_LEVEL_KEYS: Tuple[str, ...] = (
     "scenario", "description", "workload", "machine", "bus",
-    "sweep", "fault", "expect", "max_events")
+    "services", "sweep", "fault", "baseline", "expect", "max_events")
 
 #: ``machine:`` — shape preset plus field-by-field MachineConfig
 #: overrides (null = keep the preset/config default).
@@ -108,6 +108,19 @@ FAULT_SPECS: Dict[str, ParamSpec] = {
     "survivable": ParamSpec(bool,
                             "override the kind's survivability grade",
                             default=None, nullable=True),
+}
+
+#: ``baseline:`` — the recovery-design shootout (experiment F5): run
+#: every named design over the OLTP bank workload under every named
+#: fault kind and report the recovery-time / p99-under-fault matrix.
+BASELINE_SPECS: Dict[str, ParamSpec] = {
+    "kinds": ParamSpec(list, "fault kinds to sweep the designs over"),
+    "designs": ParamSpec(list, "recovery designs to compare "
+                               "(null: all four)",
+                         default=None, nullable=True),
+    "clients": ParamSpec(int, "bank clients", default=3),
+    "txns_per_client": ParamSpec(int, "transfers per client",
+                                 default=12),
 }
 
 #: ``expect:`` — what the run is judged on (explicit mode).
@@ -242,11 +255,16 @@ def validate_scenario(doc: Any, source: str = "") -> Dict[str, Any]:
 
     sweep = doc.get("sweep")
     fault = doc.get("fault")
-    if sweep is not None and fault is not None:
-        raise SchemaError(f"{where}: 'sweep:' and 'fault:' are "
-                          f"mutually exclusive — a scenario is either "
-                          f"a seeded campaign sweep or one explicit "
-                          f"fault plan")
+    baseline = doc.get("baseline")
+    modes = [key for key, value in (("sweep", sweep), ("fault", fault),
+                                    ("baseline", baseline))
+             if value is not None]
+    if len(modes) > 1:
+        raise SchemaError(f"{where}: " + " and ".join(
+            f"'{mode}:'" for mode in modes) + " are mutually "
+            "exclusive — a scenario is a seeded campaign sweep, one "
+            "explicit fault plan, or a recovery-design baseline "
+            "shootout")
 
     normalized: Dict[str, Any] = {
         "scenario": name,
@@ -254,8 +272,10 @@ def validate_scenario(doc: Any, source: str = "") -> Dict[str, Any]:
         "workload": workload,
         "machine": machine,
         "bus": bus,
+        "services": _validate_services(doc.get("services"), where),
         "sweep": None,
         "fault": None,
+        "baseline": None,
         "expect": _validate_expect(doc.get("expect"), where),
         "max_events": max_events,
     }
@@ -273,6 +293,9 @@ def validate_scenario(doc: Any, source: str = "") -> Dict[str, Any]:
                                    for key in allowed}
     elif fault is not None:
         normalized["fault"] = _validate_fault(fault, where)
+    elif baseline is not None:
+        normalized["baseline"] = _validate_baseline(baseline, where)
+        _check_baseline_constraints(doc, normalized, where)
     return normalized
 
 
@@ -297,6 +320,90 @@ def _validate_sweep(sweep: Any, where: str) -> Dict[str, Any]:
     return sweep
 
 
+def _validate_services(services: Any,
+                       where: str) -> Optional[Dict[str, Any]]:
+    """``services:`` — resilience services to enable, each with its
+    knob values validated (and defaulted) against the service
+    registry's param specs."""
+    if services is None:
+        return None
+    from ..resilience.registry import SERVICE_REGISTRY
+
+    services = _require_mapping(services, "services")
+    out: Dict[str, Any] = {}
+    for name, knobs in services.items():
+        if name not in SERVICE_REGISTRY:
+            raise SchemaError(f"{where}: services: "
+                              + unknown_name_message(
+                                  "resilience service", name,
+                                  SERVICE_REGISTRY.names()))
+        try:
+            out[name] = validate_params(
+                _require_mapping(knobs, f"services.{name}"),
+                SERVICE_REGISTRY.metadata(name).params,
+                f"services.{name}")
+        except RegistryError as error:
+            raise SchemaError(f"{where}: {error}") from None
+    return out or None
+
+
+def _validate_baseline(baseline: Any, where: str) -> Dict[str, Any]:
+    from ..baselines.designs import DESIGN_REGISTRY
+
+    try:
+        baseline = validate_params(
+            _require_mapping(baseline, "baseline"),
+            BASELINE_SPECS, "baseline")
+    except RegistryError as error:
+        raise SchemaError(f"{where}: {error}") from None
+    baseline["kinds"] = _name_list(baseline["kinds"], FAULT_REGISTRY,
+                                   f"{where}: baseline.kinds")
+    if baseline["designs"] is not None:
+        baseline["designs"] = _name_list(
+            baseline["designs"], DESIGN_REGISTRY,
+            f"{where}: baseline.designs")
+    return baseline
+
+
+def _check_baseline_constraints(doc: Mapping[str, Any],
+                                normalized: Mapping[str, Any],
+                                where: str) -> None:
+    """Baseline mode owns its workload (the OLTP bank) and its
+    machines (one per design x kind cell, built by the shootout
+    harness); sections that cannot reach those machines are rejected,
+    not ignored."""
+    if normalized["expect"] is not None:
+        raise SchemaError(
+            f"{where}: 'expect:' is an explicit-mode section; a "
+            f"baseline shootout is judged on cell completion")
+    if normalized["services"] is not None:
+        raise SchemaError(
+            f"{where}: 'services:' cannot reach the shootout's "
+            f"per-cell machines; baseline mode compares recovery "
+            f"designs, not resilience services")
+    given = _require_mapping(doc.get("workload"), "workload")
+    if given:
+        raise SchemaError(
+            f"{where}: 'workload:' is fixed in baseline mode (the "
+            f"shootout always runs the OLTP bank workload)")
+    for section, allowed in SWEEP_ALLOWED.items():
+        for key in _require_mapping(doc.get(section), section):
+            if section == "bus" or key not in allowed:
+                raise SchemaError(
+                    f"{where}: {section}.{key}: not available in "
+                    f"baseline mode (fault plans carry their own bus "
+                    f"rates); baseline scenarios may set "
+                    + ", ".join(f"machine.{name}"
+                                for name in SWEEP_ALLOWED["machine"]))
+    # Null the owned sections entirely so the canonical round-trip
+    # emits no workload/bus at all (this very check rejects them).
+    normalized["workload"] = {"recipe": None, "params": None}
+    normalized["machine"] = {
+        key: normalized["machine"][key]
+        for key in SWEEP_ALLOWED["machine"]}
+    normalized["bus"] = {}
+
+
 def _check_sweep_constraints(doc: Mapping[str, Any],
                              normalized: Mapping[str, Any],
                              where: str) -> None:
@@ -306,6 +413,10 @@ def _check_sweep_constraints(doc: Mapping[str, Any],
         raise SchemaError(
             f"{where}: 'expect:' is an explicit-mode section; a sweep "
             f"always runs the full invariant battery per seed")
+    if normalized["services"] is not None:
+        raise SchemaError(
+            f"{where}: 'services:' is an explicit-mode section; the "
+            f"campaign machinery owns the sweep's machine configs")
     if normalized["workload"]["recipe"] != "generated":
         raise SchemaError(
             f"{where}: workload.recipe: a sweep always uses the "

@@ -18,7 +18,8 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..backup.modes import BackupMode
 from ..core.machine import Machine
-from ..programs.actions import Compute, Exit, Open, Read, Write
+from ..programs.actions import (Compute, Exit, Open, Read, ReadAny,
+                                Write)
 from ..programs.program import StateProgram
 from ..types import Pid
 from ..workloads import (MemoryChurnProgram, PingProgram, PongProgram,
@@ -227,8 +228,10 @@ class _FloodProducer(StateProgram):
     name = "scenario_flood_producer"
     start_state = "open"
 
-    def __init__(self, items: int = 10) -> None:
+    def __init__(self, items: int = 10,
+                 channel: str = "chan:scenario_flood") -> None:
         self._items = items
+        self._channel = channel
 
     def declare(self, space) -> None:
         space.declare("i", 1)
@@ -239,7 +242,7 @@ class _FloodProducer(StateProgram):
 
     def state_open(self, ctx):
         ctx.goto("send")
-        return Open("chan:scenario_flood")
+        return Open(self._channel)
 
     def state_send(self, ctx):
         if ctx.regs.get("fd") is None:
@@ -254,14 +257,17 @@ class _FloodProducer(StateProgram):
 
 class _SlowServer(StateProgram):
     """Consumes the flood with a long service time per item — the
-    slow server the producer overruns."""
+    slow server the producer(s) overrun.  ``items`` is the *total*
+    across every channel."""
 
     name = "scenario_slow_server"
     start_state = "open"
 
-    def __init__(self, items: int = 10, service: int = 3_000) -> None:
+    def __init__(self, items: int = 10, service: int = 3_000,
+                 channels=("chan:scenario_flood",)) -> None:
         self._items = items
         self._service = service
+        self._channels = tuple(channels)
 
     def declare(self, space) -> None:
         space.declare("i", 1)
@@ -271,11 +277,16 @@ class _SlowServer(StateProgram):
         mem.set("i", 0)
 
     def state_open(self, ctx):
+        ctx.regs["opened"] = 0
         ctx.goto("opened")
-        return Open("chan:scenario_flood")
+        return Open(self._channels[0])
 
     def state_opened(self, ctx):
-        ctx.regs["fd"] = ctx.rv
+        ctx.regs[f"fd{ctx.regs['opened']}"] = ctx.rv
+        ctx.regs["opened"] += 1
+        if ctx.regs["opened"] < len(self._channels):
+            ctx.goto("opened")
+            return Open(self._channels[ctx.regs["opened"]])
         ctx.goto("read")
         return Compute(10)
 
@@ -283,7 +294,9 @@ class _SlowServer(StateProgram):
         if ctx.mem.get("i") >= self._items:
             return Exit(0)
         ctx.goto("got")
-        return Read(ctx.regs["fd"])
+        if len(self._channels) == 1:
+            return Read(ctx.regs["fd0"])
+        return ReadAny(fds=())
 
     def state_got(self, ctx):
         ctx.mem.set("i", ctx.mem.get("i") + 1)
@@ -293,25 +306,40 @@ class _SlowServer(StateProgram):
 
 def _build_flood(machine: Machine, params: Dict[str, Any]) -> List[Pid]:
     n_clusters = machine.config.n_clusters
+    producers = params["producers"]
     server_cluster = 1 % n_clusters
     kernel = machine.clusters[server_cluster].kernel
+    if producers == 1:
+        channels = ["chan:scenario_flood"]
+    else:
+        channels = [f"chan:scenario_flood{i}" for i in range(producers)]
     # The consumer is registered as a *server* process so the bounded
     # server inbox (machine: server_inbox_limit/policy) applies to it.
     server = kernel.create_process(
-        _SlowServer(items=params["items"], service=params["service"]),
+        _SlowServer(items=params["items"] * producers,
+                    service=params["service"], channels=channels),
         BackupMode.QUARTERBACK, is_server=True)
-    producer = machine.spawn(_FloodProducer(items=params["items"]),
-                             cluster=(server_cluster + 1) % n_clusters)
-    return [server.pid, producer]
+    pids = [server.pid]
+    # One producer per channel, spread over the non-server clusters —
+    # with >1 producer the home clusters differ, which is what lets
+    # the bulkhead service partition them into separate inbox classes.
+    for index, channel in enumerate(channels):
+        pids.append(machine.spawn(
+            _FloodProducer(items=params["items"], channel=channel),
+            cluster=(server_cluster + 1 + index) % n_clusters))
+    return pids
 
 
 register_workload(
     "flood", _build_flood,
     EntryMetadata(
-        description="an unpaced producer overrunning a slow server: "
+        description="unpaced producer(s) overrunning a slow server: "
                     "the bounded-inbox backpressure smoke",
         params={
-            "items": ParamSpec(int, "items flooded", default=10),
+            "items": ParamSpec(int, "items flooded per producer",
+                               default=10),
             "service": ParamSpec(int, "server ticks per item",
                                  default=3_000),
+            "producers": ParamSpec(int, "producer processes, one "
+                                        "channel each", default=1),
         }))

@@ -256,8 +256,13 @@ def generate_transfers(rng: DeterministicRNG, count: int,
 def build_bank_workload(machine, n_clients: int = 3,
                         txns_per_client: int = 10, accounts: int = 16,
                         seed: int = 7, server_mode=None, client_mode=None,
-                        server_cluster=None):
+                        server_cluster=None, server_spawn_kwargs=None):
     """Spawn a bank server plus clients on ``machine``.
+
+    ``server_spawn_kwargs`` forwards extra :meth:`Machine.spawn` knobs to
+    the server (``sync_reads_threshold``, ``checkpoint_every``, ...) —
+    how the recovery-design shootout (experiment F5) varies the server's
+    protection scheme over an otherwise identical workload.
 
     Returns ``(server_pid, client_pids, expected_total)`` where
     ``expected_total`` is ``accounts * initial_balance`` (the conserved
@@ -271,7 +276,8 @@ def build_bank_workload(machine, n_clients: int = 3,
     server = BankServerProgram(clients=n_clients, accounts=accounts,
                                expected_txns=n_clients * txns_per_client)
     server_pid = machine.spawn(server, backup_mode=server_mode,
-                               cluster=server_cluster)
+                               cluster=server_cluster,
+                               **(server_spawn_kwargs or {}))
     client_pids = []
     for index in range(n_clients):
         transfers = generate_transfers(rng.fork(f"client{index}"),

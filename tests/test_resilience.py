@@ -1,0 +1,445 @@
+"""Tests for the resilience service layer (repro.resilience).
+
+Three layers of coverage:
+
+* **byte identity** — with every service disabled the layer is never
+  installed and the fault campaign's report is byte-identical to the
+  pinned pre-resilience artifact (the PR's hard constraint);
+* **detector races** — heartbeat and poll detection funnel into the
+  same idempotent crash handling (no double promotion whichever wins),
+  bus-loss false positives are refuted without promoting anyone, and
+  the idempotent guard suppresses duplicate replays after failover;
+* **service units** — breaker state machine, bulkhead partitioning,
+  DLQ eviction/death, registry validation and the docs drift gate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro import BackupMode, Machine, MachineConfig
+from repro.config import BusFaultConfig, ConfigError, ResilienceConfig
+from repro.faults.campaign import run_campaign
+from repro.messages.message import (Delivery, DeliveryRole, Message,
+                                    MessageKind)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.resilience.registry import (SERVICE_REGISTRY, apply_services,
+                                       resilience_services_markdown,
+                                       service_names)
+from repro.scenario.compile import compile_scenario
+from repro.scenario.registry import UnknownNameError
+from repro.workloads import TtyWriterProgram
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def resilient_machine(n_clusters=3, trace=False, bus=None, services=None,
+                      **overrides):
+    """A machine with selected resilience services switched on."""
+    config = MachineConfig(n_clusters=n_clusters, trace_enabled=trace)
+    for key, value in (services or {}).items():
+        setattr(config.resilience, key, value)
+    if bus is not None:
+        config.bus_faults = bus
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return Machine(config.validate())
+
+
+# ----------------------------------------------------------------------
+# registry and docs drift gate
+# ----------------------------------------------------------------------
+
+def test_registry_lists_the_five_services():
+    assert tuple(service_names()) == ("heartbeat", "breaker",
+                                      "bulkhead", "dlq", "idempotent")
+
+
+def test_docs_table_matches_registry():
+    """docs/resilience.md carries the generated service table verbatim
+    between markers — regenerating must be a no-op."""
+    text = (ROOT / "docs" / "resilience.md").read_text()
+    match = re.search(
+        r"<!-- resilience-services:begin[^>]*-->\n(.*?)\n"
+        r"<!-- resilience-services:end -->", text, re.S)
+    assert match is not None, "markers missing from docs/resilience.md"
+    assert match.group(1) == resilience_services_markdown()
+
+
+def test_every_service_documents_every_knob():
+    for name, spec, metadata in SERVICE_REGISTRY.items():
+        assert set(spec.knobs) == set(metadata.params), name
+
+
+# ----------------------------------------------------------------------
+# byte identity with services disabled
+# ----------------------------------------------------------------------
+
+def test_disabled_config_installs_no_layer():
+    machine = Machine(MachineConfig(n_clusters=3,
+                                    trace_enabled=False).validate())
+    assert machine.resilience is None
+    assert all(kernel.resilience is None for kernel in machine.kernels)
+
+
+def test_campaign_byte_identical_with_services_disabled():
+    """The PR's hard constraint: with every service off, the full fault
+    campaign serializes byte-for-byte to the pre-resilience artifact."""
+    report = run_campaign(seeds=range(6), n_clusters=3,
+                          max_events=40_000_000)
+    blob = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+    pinned = (ROOT / "tests" / "data"
+              / "campaign_pre_resilience.json").read_text()
+    assert blob == pinned
+
+
+# ----------------------------------------------------------------------
+# heartbeat vs poll detection
+# ----------------------------------------------------------------------
+
+def _crashed_writer(services=None, bus=None, crash_at=15_000):
+    machine = resilient_machine(trace=True, services=services, bus=bus)
+    machine.spawn(TtyWriterProgram(lines=12, tag="a", compute=2_000),
+                  cluster=2, sync_reads_threshold=3,
+                  backup_mode=BackupMode.QUARTERBACK)
+    if crash_at is not None:
+        machine.crash_cluster(2, at=crash_at)
+    machine.run_until_idle(max_events=5_000_000)
+    return machine
+
+
+def _detection_latency(machine, crash_at):
+    begins = machine.trace.select("crash.handling_begin")
+    assert begins, "crash was never detected"
+    return min(record.time for record in begins) - crash_at
+
+
+def test_heartbeat_detects_faster_than_poll():
+    """Acceptance: heartbeat detection demonstrably beats the poll
+    detector.  interval=4000 x (miss_threshold=2 + 1) ~= 12k ticks vs
+    the poll detector's poll_interval=50k."""
+    poll = _crashed_writer()
+    heartbeat = _crashed_writer(services={
+        "heartbeat": True, "heartbeat_interval": 4_000,
+        "heartbeat_miss_threshold": 2})
+    poll_latency = _detection_latency(poll, 15_000)
+    hb_latency = _detection_latency(heartbeat, 15_000)
+    assert hb_latency < poll_latency
+    assert hb_latency <= 3 * 4_000 + 1_000   # (miss+1)*interval + slack
+    assert poll_latency >= poll.config.poll_interval
+    assert heartbeat.metrics.counter(
+        "resilience.heartbeat.detections") >= 1
+    # Faster detection must not change external behaviour.
+    assert heartbeat.tty_output() == poll.tty_output()
+    assert heartbeat.exits == poll.exits
+
+
+def test_no_double_promotion_when_heartbeat_wins_the_race():
+    """Heartbeat fires first, the poll detector's begin arrives later
+    while recovery is already underway — promotion stays idempotent."""
+    machine = _crashed_writer(services={
+        "heartbeat": True, "heartbeat_interval": 4_000,
+        "heartbeat_miss_threshold": 2})
+    assert machine.metrics.counter("recovery.promotions") == 1
+    promotes = machine.trace.select("recovery.promote")
+    pids = [record.detail["pid"] for record in promotes]
+    assert len(pids) == len(set(pids)) == 1
+    assert machine.exits and all(code == 0
+                                 for code in machine.exits.values())
+
+
+def test_no_double_promotion_when_poll_wins_the_race():
+    """The mirror race: a sluggish heartbeat (interval far beyond the
+    poll interval) is still in flight when poll-based recovery promotes
+    the backup; the late confirmation must not promote again."""
+    machine = _crashed_writer(services={
+        "heartbeat": True, "heartbeat_interval": 40_000,
+        "heartbeat_miss_threshold": 3})
+    baseline = _crashed_writer()
+    assert machine.metrics.counter("recovery.promotions") == 1
+    assert machine.tty_output() == baseline.tty_output()
+    assert machine.exits == baseline.exits
+
+
+def test_bus_ack_loss_false_positives_never_promote():
+    """Beacon loss on a degraded bus suspects live clusters; the
+    probe/ack round trip refutes every suspicion and nobody is
+    promoted (a double-promotion here would corrupt routing)."""
+    machine = resilient_machine(
+        trace=True,
+        services={"heartbeat": True, "heartbeat_interval": 4_000,
+                  "heartbeat_miss_threshold": 2},
+        bus=BusFaultConfig(loss_rate=0.2, seed=5))
+    machine.spawn(TtyWriterProgram(lines=12, tag="a", compute=2_000),
+                  cluster=2, sync_reads_threshold=3)
+    machine.run_until_idle(max_events=5_000_000)
+    false_positives = machine.metrics.counter(
+        "resilience.heartbeat.false_positives")
+    assert false_positives >= 1
+    assert machine.metrics.counter(
+        "resilience.heartbeat.refuted") == false_positives
+    assert machine.metrics.counter(
+        "resilience.heartbeat.detections") == 0
+    assert machine.metrics.counter("recovery.promotions") == 0
+    assert not machine.trace.select("crash.handling_begin")
+    assert machine.exits and all(code == 0
+                                 for code in machine.exits.values())
+
+
+# ----------------------------------------------------------------------
+# idempotent guard: duplicate replay after failover
+# ----------------------------------------------------------------------
+
+def test_idempotent_guard_suppresses_duplicate_replay():
+    """Replay an already accepted DATA delivery with a fresh arrival
+    seqno (what a re-send after failover looks like below the
+    link-level suppressor): the guard drops it, output is unchanged."""
+    baseline = _crashed_writer(crash_at=None)
+
+    machine = resilient_machine(trace=True,
+                                services={"idempotent": True})
+    machine.spawn(TtyWriterProgram(lines=12, tag="a", compute=2_000),
+                  cluster=2, sync_reads_threshold=3)
+    captured = {}
+    for kernel in machine.kernels:
+        original = kernel.handle_delivery
+
+        def wrapper(message, delivery, seqno, _original=original,
+                    _kernel=kernel):
+            if ("message" not in captured
+                    and message.kind is MessageKind.DATA
+                    and delivery.role is DeliveryRole.PRIMARY_DEST):
+                captured["message"] = (message, delivery, _kernel)
+
+                def replay():
+                    msg, dlv, k = captured["message"]
+                    k.handle_delivery(msg, dlv,
+                                      k.cluster.next_arrival_seqno())
+
+                machine.sim.call_after(2_000, replay,
+                                       label="test_duplicate_replay")
+            _original(message, delivery, seqno)
+
+        kernel.handle_delivery = wrapper
+    machine.run_until_idle(max_events=5_000_000)
+    assert "message" in captured
+    assert machine.metrics.counter(
+        "resilience.idempotent.suppressed") == 1
+    assert machine.tty_output() == baseline.tty_output()
+    assert machine.exits == baseline.exits
+
+
+def test_idempotent_guard_does_not_suppress_dlq_redelivery():
+    """A shed arrival was never accepted, so its DLQ redelivery must
+    not look like a duplicate: both services on, everything the inbox
+    shed is redelivered and nothing is suppressed."""
+    outcome = _run_example("dlq-drain.yaml",
+                           extra_services={"idempotent": {}})
+    assert outcome.passed, outcome.as_dict()
+    counters = outcome.counters
+    assert counters["resilience.dlq.redelivered"] >= 1
+    assert counters.get("resilience.idempotent.suppressed", 0) == 0
+
+
+def _run_example(name, extra_services=None):
+    from repro.scenario import yamlite
+    from repro.scenario.runner import run_compiled
+
+    doc = yamlite.loads(
+        (ROOT / "examples" / "scenarios" / name).read_text())
+    for service, knobs in (extra_services or {}).items():
+        doc.setdefault("services", {})[service] = knobs
+    return run_compiled(compile_scenario(doc, source=name))
+
+
+# ----------------------------------------------------------------------
+# circuit breaker state machine (unit)
+# ----------------------------------------------------------------------
+
+def _breaker_machine(**knobs):
+    services = {"breaker": True}
+    services.update(knobs)
+    machine = resilient_machine(services=services)
+    return machine, machine.resilience.breaker
+
+
+def test_breaker_opens_after_threshold_and_recovers():
+    machine, layer = _breaker_machine(breaker_failure_threshold=3,
+                                      breaker_cooldown=10_000)
+    for _ in range(2):
+        layer.record_failure(0, 1)
+    assert layer.state_of(0, 1) == CLOSED and layer.allows(0, 1)
+    layer.record_failure(0, 1)
+    assert layer.state_of(0, 1) == OPEN and not layer.allows(0, 1)
+    assert machine.metrics.counter("resilience.breaker.opened") == 1
+    # The cooldown event half-opens it; a delivered probe closes it.
+    machine.run_until_idle()
+    assert layer.state_of(0, 1) == HALF_OPEN and layer.allows(0, 1)
+    layer.record_success(0, 1)
+    assert layer.state_of(0, 1) == CLOSED
+    assert machine.metrics.counter("resilience.breaker.closed") == 1
+
+
+def test_breaker_success_resets_failure_streak():
+    machine, layer = _breaker_machine(breaker_failure_threshold=3)
+    layer.record_failure(0, 1)
+    layer.record_failure(0, 1)
+    layer.record_success(0, 1)
+    layer.record_failure(0, 1)
+    layer.record_failure(0, 1)
+    assert layer.state_of(0, 1) == CLOSED
+    assert machine.metrics.counter("resilience.breaker.opened") == 0
+
+
+def test_breaker_abandons_after_probe_budget():
+    machine, layer = _breaker_machine(breaker_failure_threshold=1,
+                                      breaker_cooldown=5_000,
+                                      breaker_max_probes=2)
+    for cycle in range(2):
+        layer.record_failure(0, 1)            # (re)open
+        machine.run_until_idle()              # cooldown -> half-open
+        assert layer.state_of(0, 1) == HALF_OPEN
+        layer.record_failure(0, 1)            # failed probe
+    assert not layer.allows(0, 1)
+    assert machine.metrics.counter("resilience.breaker.abandoned") == 1
+    # Abandoned is terminal: neither evidence kind revives the pair.
+    layer.record_success(0, 1)
+    layer.record_failure(0, 1)
+    assert not layer.allows(0, 1)
+
+
+def test_breaker_is_per_destination_pair():
+    _, layer = _breaker_machine(breaker_failure_threshold=1)
+    layer.record_failure(0, 1)
+    assert not layer.allows(0, 1)
+    assert layer.allows(0, 2) and layer.allows(2, 1)
+    assert layer.allows(0, None)   # local sends are never gated
+
+
+# ----------------------------------------------------------------------
+# bulkhead partitioning (unit)
+# ----------------------------------------------------------------------
+
+def test_bulkhead_partition_is_home_cluster_modulo():
+    machine = resilient_machine(n_clusters=4,
+                                services={"bulkhead": True,
+                                          "bulkhead_partitions": 2})
+    bulkhead = machine.resilience.bulkhead
+    entry = lambda peer: SimpleNamespace(peer_cluster=peer)
+    assert bulkhead.partition_of(entry(0)) == 0
+    assert bulkhead.partition_of(entry(1)) == 1
+    assert bulkhead.partition_of(entry(2)) == 0
+    assert bulkhead.partition_of(entry(3)) == 1
+    assert bulkhead.partition_of(entry(None)) == 0
+
+
+# ----------------------------------------------------------------------
+# dead-letter queue capacity and death (unit)
+# ----------------------------------------------------------------------
+
+def _letter(msg_id, dst_pid=999):
+    return Message(msg_id=msg_id, kind=MessageKind.DATA, src_pid=1,
+                   dst_pid=dst_pid, channel_id=None, payload=None,
+                   size_bytes=16, deliveries=(), src_cluster=0)
+
+
+def test_dlq_evicts_oldest_beyond_limit():
+    machine = resilient_machine(services={"dlq": True, "dlq_limit": 2})
+    dlq = machine.resilience.dlq
+    for msg_id in range(3):
+        dlq.capture_garbled(_letter(msg_id), src=0)
+    assert dlq.depth(0) == 2
+    assert machine.metrics.counter("resilience.dlq.evicted") == 1
+    assert machine.metrics.counter("resilience.dlq.garbled") == 3
+    # The survivors are the two youngest, in arrival order.
+    assert [r.message.msg_id for r in dlq.records[0]] == [1, 2]
+
+
+def test_dlq_breaker_letter_dies_after_retry_budget():
+    """A letter whose destination pid never exists anywhere exhausts
+    its retries and is declared dead (not silently retried forever)."""
+    machine = resilient_machine(services={"dlq": True,
+                                          "dlq_retry_after": 1_000,
+                                          "dlq_max_retries": 2})
+    dlq = machine.resilience.dlq
+    dlq.capture_rejected_send(machine.kernels[0], _letter(7),
+                              dst_cluster=1)
+    machine.run_until_idle()
+    assert machine.metrics.counter("resilience.dlq.dead") == 1
+    assert machine.metrics.counter("resilience.dlq.redelivered") == 0
+    assert dlq.records[0][0].dead
+
+
+def test_dlq_zero_retries_means_capture_only():
+    machine = resilient_machine(services={"dlq": True,
+                                          "dlq_max_retries": 0})
+    dlq = machine.resilience.dlq
+    dlq.capture_rejected_send(machine.kernels[0], _letter(7),
+                              dst_cluster=1)
+    machine.run_until_idle()
+    assert machine.metrics.counter("resilience.dlq.enqueued") == 1
+    assert machine.metrics.counter("resilience.dlq.dead") == 0
+    assert dlq.depth(0) == 1
+
+
+# ----------------------------------------------------------------------
+# config plumbing: apply_services and the scenario services block
+# ----------------------------------------------------------------------
+
+def test_apply_services_sets_flags_and_knobs():
+    config = apply_services(ResilienceConfig(), {
+        "heartbeat": {"interval": 4_000, "miss_threshold": 2},
+        "dlq": {},
+    })
+    assert config.heartbeat and config.dlq
+    assert not (config.breaker or config.bulkhead or config.idempotent)
+    assert config.heartbeat_interval == 4_000
+    assert config.heartbeat_miss_threshold == 2
+    assert config.dlq_retry_after == ResilienceConfig().dlq_retry_after
+
+
+def test_apply_services_rejects_unknown_service():
+    with pytest.raises(UnknownNameError):
+        apply_services(ResilienceConfig(), {"hartbeat": {}})
+
+
+def test_apply_services_rejects_invalid_knob_value():
+    with pytest.raises(ConfigError):
+        apply_services(ResilienceConfig(),
+                       {"heartbeat": {"interval": 0}})
+
+
+def test_scenario_services_block_round_trips():
+    from repro.scenario import yamlite
+    doc = {
+        "scenario": "svc",
+        "workload": {"recipe": "tty", "params": {"writers": 1,
+                                                 "lines": 2}},
+        "services": {"breaker": {"failure_threshold": 5},
+                     "idempotent": {}},
+    }
+    compiled = compile_scenario(doc, source="unit")
+    # Defaults are filled in for every knob of every named service.
+    assert compiled.services["breaker"]["failure_threshold"] == 5
+    assert compiled.services["breaker"]["cooldown"] \
+        == ResilienceConfig().breaker_cooldown
+    assert compiled.services["idempotent"]["window"] \
+        == ResilienceConfig().idempotent_window
+    reparsed = compile_scenario(
+        yamlite.loads(compiled.canonical_yaml()), source="rt")
+    assert reparsed.canonical() == compiled.canonical()
+
+
+def test_scenario_services_reject_unknown_knob():
+    from repro.scenario.schema import SchemaError
+    with pytest.raises(SchemaError):
+        compile_scenario({
+            "scenario": "svc",
+            "workload": {"recipe": "tty", "params": {}},
+            "services": {"breaker": {"treshold": 5}},
+        })
