@@ -1,0 +1,57 @@
+"""Interleaved live-vs-baseline A/B measurement for local iteration.
+
+Run with ``PYTHONPATH=src:benchmarks python benchmarks/_ab_quick.py [rounds]``.
+Alternates live and baseline rounds so clock drift and thermal state hit
+both engines equally, exactly like ``test_p3_queue_parallel`` does in CI.
+"""
+
+import gc
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+from _p3_baseline import p3_engine  # noqa: E402
+
+from repro.config import MachineConfig  # noqa: E402
+from repro.core.machine import Machine  # noqa: E402
+from repro.workloads import build_bank_workload  # noqa: E402
+
+
+def build():
+    machine = Machine(MachineConfig(n_clusters=4, seed=7,
+                                    trace_enabled=False).validate())
+    build_bank_workload(machine, n_clients=4, txns_per_client=60,
+                        accounts=24, seed=7)
+    return machine
+
+
+def main():
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    best_live = best_base = None
+    events = None
+    for _ in range(rounds):
+        live = build()
+        gc.collect()
+        t0 = time.process_time()
+        live.run_until_idle(max_events=30_000_000)
+        dt = time.process_time() - t0
+        best_live = dt if best_live is None or dt < best_live else best_live
+
+        with p3_engine():
+            base = build()
+        gc.collect()
+        t0 = time.process_time()
+        base.run_until_idle(max_events=30_000_000)
+        dt = time.process_time() - t0
+        best_base = dt if best_base is None or dt < best_base else best_base
+        events = live.sim.events_executed
+        assert base.sim.events_executed == events
+
+    live_eps = events / best_live
+    base_eps = events / best_base
+    print(f"live {live_eps:,.0f} eps | baseline {base_eps:,.0f} eps | "
+          f"ratio {live_eps / base_eps:.3f}")
+
+
+if __name__ == "__main__":
+    main()

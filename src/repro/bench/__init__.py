@@ -1,9 +1,10 @@
 """Wall-clock performance harness (``repro bench``)."""
 
 from .harness import (BENCH_REGISTRY, BenchError, BenchResult,
-                      TIMERS, WORKLOADS, check_workload_names,
-                      compare_to_baseline, load_report, report_dict,
-                      resolve_timer, run_suite, write_report)
+                      TIMERS, WORKLOADS, check_queue_name,
+                      check_workload_names, compare_to_baseline,
+                      load_report, report_dict, resolve_timer,
+                      run_suite, write_report)
 
 __all__ = [
     "BENCH_REGISTRY",
@@ -11,6 +12,7 @@ __all__ = [
     "BenchResult",
     "TIMERS",
     "WORKLOADS",
+    "check_queue_name",
     "check_workload_names",
     "compare_to_baseline",
     "load_report",

@@ -19,7 +19,7 @@ from collections import deque
 from typing import Deque, List, Optional, TYPE_CHECKING
 
 from ..config import MachineConfig
-from ..messages.message import DeliveryRole, Message
+from ..messages.message import DeliveryRole, Message, MessageKind
 from ..metrics import MetricSet
 from ..sim import Simulator, TraceLog
 from ..types import ClusterId
@@ -29,9 +29,12 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from .bus import InterclusterBus
     from ..kernel.kernel import ClusterKernel
 
-#: Executive-activity label per delivery role, built once — ``receive``
-#: runs for every delivery leg of every transmission on the machine.
+#: Executive-activity labels per delivery role and per message kind,
+#: built once — ``receive`` runs for every delivery leg of every
+#: transmission on the machine, and the per-leg f-string showed up in
+#: delivery-path profiles.
 _DELIVER_LABELS = {role: f"deliver_{role.value}" for role in DeliveryRole}
+_APPLY_LABELS = {kind: f"apply_{kind.value}" for kind in MessageKind}
 
 
 class Cluster:
@@ -62,6 +65,10 @@ class Cluster:
         #: message, and the closure allocation per send was measurable.
         self._request_bus = lambda: bus.request(cluster_id)
         self._dispatch_cost = config.costs.exec_dispatch
+        #: Per-leg delivery costs, hoisted: ``receive`` runs for every
+        #: delivery leg of every transmission on the machine.
+        self._cost_sync_apply = config.costs.exec_sync_apply
+        self._cost_delivery = config.costs.exec_delivery
         bus.attach(self)
 
     # -- outgoing path ------------------------------------------------------
@@ -138,23 +145,20 @@ class Cluster:
             legs = list(message.deliveries_for(self.cluster_id))
         self._arrival_seqno += 1
         seqno = self._arrival_seqno
-        kernel = self.kernel
-        costs = self.config.costs
+        handle_delivery = self.kernel.handle_delivery
+        submit = self.executive.submit
         for delivery in legs:
             role = delivery.role
             if role is DeliveryRole.KERNEL:
                 # Sync application and backup maintenance are heavier
                 # executive work than a plain queue insert (8.2, 8.3).
-                cost = costs.exec_sync_apply
-                label = f"apply_{message.kind.value}"
+                cost = self._cost_sync_apply
+                label = _APPLY_LABELS[message.kind]
             else:
-                cost = costs.exec_delivery
+                cost = self._cost_delivery
                 label = _DELIVER_LABELS[role]
-            self.executive.submit(
-                cost,
-                lambda m=message, d=delivery, s=seqno:
-                    kernel.handle_delivery(m, d, s),
-                label=label)
+            submit(cost, handle_delivery, label,
+                   (message, delivery, seqno))
 
     # -- failure ------------------------------------------------------------
 

@@ -57,26 +57,37 @@ class ExecutiveProcessor:
         self.resource_name = f"executive[c{cluster_id}]"
         self._sim = sim
         self._metrics = metrics
-        #: (cost, action, label) tuples — the executive processes a few
-        #: work items per delivered message, so per-item allocation cost
-        #: matters; a tuple beats a dataclass instance here.
+        #: Alias of the metric set's busy store (mutated in place, never
+        #: replaced): one charge per executive work item, and the
+        #: ``add_busy`` call layer was measurable on the delivery path.
+        self._mbusy = metrics._busy
+        #: (cost, action, label, args) tuples — the executive processes a
+        #: few work items per delivered message, so per-item allocation
+        #: cost matters; a tuple beats a dataclass instance here.
         self._queue: Deque[tuple] = deque()
         self._busy = False
         self._halted = False
-        self._current: Optional[Callable[[], None]] = None
+        self._current: Optional[Callable[..., None]] = None
+        self._current_args: tuple = ()
         self._event_label = f"exec[c{cluster_id}]"
 
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
 
-    def submit(self, cost: Ticks, action: Callable[[], None],
-               label: str) -> None:
+    def submit(self, cost: Ticks, action: Callable[..., None],
+               label: str, args: tuple = ()) -> None:
         """Queue one unit of executive work.  Silently dropped if the
-        cluster has halted (crashed) — hardware does no work when down."""
+        cluster has halted (crashed) — hardware does no work when down.
+
+        ``args`` are passed to ``action`` on execution, so callers with
+        per-item parameters (e.g. one delivery leg) can submit a shared
+        bound method plus an args tuple instead of building a closure per
+        item — the closure allocation was measurable on the delivery path.
+        """
         if self._halted:
             return
-        self._queue.append((cost, action, label))
+        self._queue.append((cost, action, label, args))
         if not self._busy:
             self._start_next()
 
@@ -90,20 +101,20 @@ class ExecutiveProcessor:
             self._busy = False
             self._current = None
             return
-        cost, action, label = self._queue.popleft()
+        cost, action, label, args = self._queue.popleft()
         self._busy = True
-        self._metrics.add_busy(self.resource_name, label, cost)
+        self._mbusy[(self.resource_name, label)] += cost
         # The executive is strictly serial, so the in-flight action can
         # live in an attribute and completion can be a bound method —
         # avoids building a closure per work item on the hottest
         # hardware path.
         self._current = action
+        self._current_args = args
         self._sim.call_after(cost, self._on_complete, label=self._event_label)
 
     def _on_complete(self) -> None:
         # A crash may have landed between scheduling and completion.
         if self._halted:
             return
-        action = self._current
-        action()
+        self._current(*self._current_args)
         self._start_next()

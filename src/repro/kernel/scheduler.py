@@ -49,6 +49,16 @@ class SchedulerError(Exception):
 _DEFERRED_SYSCALLS = (Read, Write, ReadAny, Open, Close, Fork, GetTime,
                       Alarm, Yield)
 
+#: Exact-type membership test for the deferred set.  Actions are frozen
+#: dataclasses that are never subclassed (custom privileged actions go
+#: through ``kernel.action_handlers``, which is already keyed by exact
+#: type), so ``__class__ in set`` replaces a nine-way isinstance scan.
+_DEFERRED_SET = frozenset(_DEFERRED_SYSCALLS)
+
+#: Entry-time-valued syscalls: result defined at syscall *entry* (see
+#: ``_perform_action``); the int tags pick the branch after one lookup.
+_ENTRY_KIND = {GetPid: 0, ReadClock: 1, Poll: 2}
+
 
 class Scheduler:
     """Per-cluster ready queue plus the action interpreter.
@@ -56,12 +66,46 @@ class Scheduler:
     Two-level priority: server processes (and crash handling, which runs
     through a separate gate) ahead of normal user processes, matching the
     paper's "very high priority" treatment of system work.
+
+    The step engine is the hottest non-loop code in the repository, so it
+    trades a little uniformity for allocation avoidance (measured in the
+    P3 A/B benchmark):
+
+    * one :class:`StepContext` + :class:`MemoryTxn` pair is cached per
+      PCB and reset per step instead of allocated per step;
+    * the ``proc``/``pcb`` continuation closures are created once per
+      processor *assignment* (``_assign``) and reused by every step the
+      assignment runs, instead of one fresh closure per step;
+    * `sim.call_after` and `metrics.add_busy` are bound once at
+      construction;
+    * action dispatch is exact-type dict lookups instead of isinstance
+      chains.
     """
 
     def __init__(self, kernel: "ClusterKernel") -> None:
         self.kernel = kernel
         self._ready_high: Deque[Pid] = deque()
         self._ready_normal: Deque[Pid] = deque()
+        # Hot-path bindings (kernel.sim/metrics are fixed for the
+        # kernel's lifetime; a revived cluster builds a fresh kernel).
+        self._call_after = kernel.sim.call_after
+        self._add_busy = kernel.metrics.add_busy
+        # The busy store itself (mutated in place, never replaced): the
+        # per-step user/syscall charges skip even the add_busy call layer.
+        self._busy_acc = kernel.metrics._busy
+        self._syscall_overhead = kernel.config.costs.syscall_overhead
+        self._quantum = kernel.config.costs.quantum
+        self._finishers = {
+            Read: self._do_read,
+            Write: self._do_write,
+            ReadAny: self._do_read_any,
+            Open: self._do_open,
+            Close: self._do_close,
+            Fork: self._do_fork,
+            GetTime: self._do_gettime,
+            Alarm: self._do_alarm,
+            Yield: self._do_yield,
+        }
 
     # -- queue management ---------------------------------------------------
 
@@ -94,10 +138,11 @@ class Scheduler:
 
     def dispatch(self) -> None:
         """Assign ready processes to idle work processors."""
-        if not self.kernel.alive or self.kernel.crash_handling:
+        kernel = self.kernel
+        if not kernel.alive or kernel.crash_handling:
             return
-        for proc in self.kernel.cluster.work_processors:
-            if not proc.idle:
+        for proc in kernel.cluster.work_processors:
+            if proc.current_pid is not None:  # proc.idle, sans descriptor
                 continue
             pcb = self._pop_ready()
             if pcb is None:
@@ -109,10 +154,16 @@ class Scheduler:
         pcb.on_processor = proc.index
         pcb.quantum_used = 0
         proc.current_pid = pcb.pid
+        # Continuations for this assignment, reused by every step it runs.
+        # Safe to cache: a PCB schedules at most one continuation at a
+        # time, and it cannot be re-assigned (which would rebind these)
+        # while one is pending — RUNNING processes are never in a ready
+        # queue.
+        pcb._sched_step = step = lambda: self._step(proc, pcb)
+        pcb._sched_continue = lambda: self._continue(proc, pcb)
         cost = self.kernel.config.costs.context_switch
         self._charge(proc, pcb, cost, "context_switch")
-        self.kernel.sim.call_after(cost, lambda: self._step(proc, pcb),
-                                   label=pcb.label_start)
+        self._call_after(cost, step, label=pcb.label_start)
 
     def _release(self, proc: WorkProcessor,
                  pcb: Optional[ProcessControlBlock]) -> None:
@@ -140,16 +191,20 @@ class Scheduler:
         kernel = self.kernel
         if not kernel.alive:
             return
-        if self._gone(pcb):
+        # _gone(), inlined: alive was just checked.
+        if kernel.pcbs.get(pcb.pid) is not pcb \
+                or pcb.state is ProcState.EXITED:
             self._release(proc, pcb)
             return
 
         # 1. Resolve a pending block.
-        if pcb.block is not None and pcb.block.kind != "page":
-            if not self._resolve_block(proc, pcb):
-                return  # still blocked; processor released inside
-        elif pcb.block is not None:
-            pcb.block = None  # page installed; the step below retries
+        block = pcb.block
+        if block is not None:
+            if block.kind != "page":
+                if not self._resolve_block(proc, pcb):
+                    return  # still blocked; processor released inside
+            else:
+                pcb.block = None  # page installed; the step below retries
 
         # 2a. Baseline checkpointing (section 2 comparison), if enabled.
         if pcb.checkpoint_every is not None \
@@ -158,25 +213,54 @@ class Scheduler:
             self._do_checkpoint(proc, pcb)
             return
 
-        # 2b. Sync triggers (7.8).  A pending full-sync target (backup
-        # re-creation) fires even when the process currently has no
-        # backup cluster at all.
+        # 2b. Sync triggers (7.8), pcb.sync_due() inlined — this check
+        # runs once per step for every protected process.  A pending
+        # full-sync target (backup re-creation) fires even when the
+        # process currently has no backup cluster at all.
         if (pcb.backup_cluster is not None or
-                pcb.full_sync_target is not None) and pcb.sync_due():
+                pcb.full_sync_target is not None) \
+                and (pcb.sync_forced
+                     or pcb.reads_since_sync >= pcb.sync_reads_threshold
+                     or pcb.exec_since_sync >= pcb.sync_time_threshold):
             self._do_sync(proc, pcb)
             return
 
         # 3. Asynchronous signals (7.5.2): sync just prior to handling.
-        signal = kernel.check_signals(pcb)
-        if signal is not None:
+        # The empty-queue early-out of kernel.check_signals is inlined —
+        # it runs once per step and the queue is almost always empty.
+        entry = kernel._route_get((pcb.signal_channel, pcb.pid))
+        if entry is not None and entry.queue \
+                and kernel.check_signals(pcb) is not None:
             if pcb.backup_cluster is not None:
                 self._do_sync(proc, pcb, then_signal=True)
                 return
             self._handle_signal(proc, pcb)
             return
 
-        # 4. One program step.
-        self._run_program_step(proc, pcb)
+        # 4. One program step, inside the PCB's cached transaction
+        # context (reset here; allocated once per PCB).
+        try:
+            ctx = pcb._sched_ctx
+            txn = ctx.mem
+            txn._writes.clear()
+            txn.pages_touched.clear()
+        except AttributeError:
+            txn = MemoryTxn(pcb.space)
+            ctx = StepContext(pid=pcb.pid, mem=txn, regs=pcb.regs)
+            pcb._sched_ctx = ctx
+        ctx.regs = regs = pcb.regs.copy()
+        try:
+            action = pcb.program.step(ctx)
+        except PageFault as fault:
+            kernel.page_fault(pcb, fault.page_no)
+            self._release(proc, pcb)
+            return
+        # Commit the step's memory and register effects, then act.
+        txn.commit()
+        pcb.regs = regs
+        pcb.total_steps += 1
+        pcb.ops_since_checkpoint += 1
+        self._perform_action(proc, pcb, action)
 
     def _resolve_block(self, proc: WorkProcessor,
                        pcb: ProcessControlBlock) -> bool:
@@ -199,9 +283,9 @@ class Scheduler:
             # are untouched.
             waited = kernel.sim.now - block.since
             if block.kind == "reply":
-                kernel.metrics.record_hist("latency.request", waited)
+                kernel._record_hist("latency.request", waited)
             elif block.kind in ("read", "read_any"):
-                kernel.metrics.record_hist("latency.read_wait", waited)
+                kernel._record_hist("latency.read_wait", waited)
         if block.kind == "read_any":
             pcb.regs["rv"] = (fd, payload)
         elif block.kind == "open":
@@ -282,80 +366,62 @@ class Scheduler:
         regs["_sig_seen"] = payload.seq  # survives the regs swap below
         txn.commit()
         pcb.regs = regs
-        cost = kernel.config.costs.syscall_overhead
+        cost = self._syscall_overhead
         self._charge(proc, pcb, cost, "signal")
-        kernel.sim.call_after(cost, lambda: self._continue(proc, pcb),
-                              label=pcb.label_signal)
-
-    def _run_program_step(self, proc: WorkProcessor,
-                          pcb: ProcessControlBlock) -> None:
-        kernel = self.kernel
-        txn = MemoryTxn(pcb.space)
-        regs = dict(pcb.regs)
-        ctx = StepContext(pid=pcb.pid, mem=txn, regs=regs)
-        try:
-            action = pcb.program.step(ctx)
-        except PageFault as fault:
-            kernel.page_fault(pcb, fault.page_no)
-            self._release(proc, pcb)
-            return
-        # Commit the step's memory and register effects, then act.
-        txn.commit()
-        pcb.regs = regs
-        pcb.total_steps += 1
-        pcb.ops_since_checkpoint += 1
-        self._perform_action(proc, pcb, action)
+        self._call_after(cost, pcb._sched_continue, label=pcb.label_signal)
 
     # -- action interpretation ---------------------------------------------
 
     def _perform_action(self, proc: WorkProcessor,
                         pcb: ProcessControlBlock, action: Any) -> None:
         kernel = self.kernel
-        costs = kernel.config.costs
+        cls = action.__class__
 
-        if isinstance(action, Compute):
-            self._charge(proc, pcb, action.cost, "user")
-            kernel.sim.call_after(action.cost,
-                                  lambda: self._continue(proc, pcb),
-                                  label=pcb.label_compute)
+        if cls is Compute:
+            cost = action.cost
+            self._busy_acc[(proc.resource_name, "user")] += cost
+            pcb.note_exec(cost)
+            self._call_after(cost, pcb._sched_continue,
+                             label=pcb.label_compute)
             return
 
-        if isinstance(action, Exit):
+        if cls is Exit:
             kernel.exit_process(pcb, action.code)
             self._release(proc, pcb)
             return
 
         # Everything else pays syscall entry/exit.
-        overhead = costs.syscall_overhead
-        self._charge(proc, pcb, overhead, "syscall")
+        overhead = self._syscall_overhead
+        self._busy_acc[(proc.resource_name, "syscall")] += overhead
+        pcb.note_exec(overhead)
 
-        if isinstance(action, (GetPid, ReadClock, Poll)):
+        entry_kind = _ENTRY_KIND.get(cls)
+        if entry_kind is not None:
             # The result is defined at syscall *entry* (read_clock records
             # a nondeterministic-event value that must not shift by the
             # overhead delay), so set rv now and schedule a bare continue
             # — _continue re-checks liveness itself.
-            if isinstance(action, GetPid):
+            if entry_kind == 0:  # GetPid
                 pcb.regs["rv"] = pcb.pid
-            elif isinstance(action, ReadClock):
+            elif entry_kind == 1:  # ReadClock
                 pcb.regs["rv"] = kernel.read_clock(pcb)
-            else:
+            else:  # Poll
                 pcb.regs["rv"] = kernel.poll_read(pcb, action.fd)
-            kernel.sim.call_after(overhead,
-                                  lambda: self._continue(proc, pcb),
-                                  label=pcb.label_sys)
+            self._call_after(overhead, pcb._sched_continue,
+                             label=pcb.label_sys)
             return
 
-        if isinstance(action, _DEFERRED_SYSCALLS):
+        if cls in _DEFERRED_SET:
             # One continuation closure per syscall; the liveness checks
             # and the action-type dispatch both run after the overhead
             # delay, inside _finish_syscall.
-            kernel.sim.call_after(
+            self._call_after(
                 overhead,
                 lambda: self._finish_syscall(proc, pcb, action),
                 label=pcb.label_sys)
             return
 
-        handler = kernel.action_handlers.get(type(action))
+        handler = kernel.action_handlers.get(cls)
         if handler is None:
             raise SchedulerError(
                 f"pid {pcb.pid}: unknown action {action!r}")
@@ -371,9 +437,8 @@ class Scheduler:
         pcb.regs["rv"] = rv
         if cost:
             self._charge(proc, pcb, cost, "privileged")
-        kernel.sim.call_after(overhead + cost,
-                              lambda: self._continue(proc, pcb),
-                              label=pcb.label_priv)
+        self._call_after(overhead + cost, pcb._sched_continue,
+                         label=pcb.label_priv)
 
     def _finish_syscall(self, proc: WorkProcessor,
                         pcb: ProcessControlBlock, action: Any) -> None:
@@ -381,28 +446,24 @@ class Scheduler:
         kernel = self.kernel
         if not kernel.alive:
             return
-        if self._gone(pcb):
+        if kernel.pcbs.get(pcb.pid) is not pcb \
+                or pcb.state is ProcState.EXITED:
             self._release(proc, pcb)
             return
-        if isinstance(action, Read):
-            self._begin_block(proc, pcb, "read", (action.fd,))
-        elif isinstance(action, Write):
-            self._do_write(proc, pcb, action)
-        elif isinstance(action, ReadAny):
-            self._begin_block(proc, pcb, "read_any", tuple(action.fds))
-        elif isinstance(action, Open):
-            self._do_open(proc, pcb, action)
-        elif isinstance(action, Close):
-            self._do_close(proc, pcb, action)
-        elif isinstance(action, Fork):
-            self._do_fork(proc, pcb, action)
-        elif isinstance(action, GetTime):
-            self._do_gettime(proc, pcb)
-        elif isinstance(action, Alarm):
-            self._do_alarm(proc, pcb, action)
-        else:  # Yield
-            pcb.regs["rv"] = True
-            self._requeue(proc, pcb)
+        self._finishers[action.__class__](proc, pcb, action)
+
+    def _do_read(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                 action: Read) -> None:
+        self._begin_block(proc, pcb, "read", (action.fd,))
+
+    def _do_read_any(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                     action: ReadAny) -> None:
+        self._begin_block(proc, pcb, "read_any", tuple(action.fds))
+
+    def _do_yield(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                  action: Yield) -> None:
+        pcb.regs["rv"] = True
+        self._requeue(proc, pcb)
 
     def _begin_block(self, proc: WorkProcessor, pcb: ProcessControlBlock,
                      kind: str, fds: tuple) -> None:
@@ -472,8 +533,8 @@ class Scheduler:
         pcb.regs["rv"] = child_pid
         self._continue(proc, pcb)
 
-    def _do_gettime(self, proc: WorkProcessor,
-                    pcb: ProcessControlBlock) -> None:
+    def _do_gettime(self, proc: WorkProcessor, pcb: ProcessControlBlock,
+                    action: GetTime = None) -> None:
         kernel = self.kernel
         chan = pcb.channel_for_fd(pcb.ps_channel_fd)
         entry = kernel.routing.require(chan, pcb.pid)
@@ -495,14 +556,15 @@ class Scheduler:
         kernel = self.kernel
         if not kernel.alive:
             return
-        if self._gone(pcb) or pcb.state is not ProcState.RUNNING:
+        # _gone() inlined (alive just checked), plus the RUNNING check.
+        if kernel.pcbs.get(pcb.pid) is not pcb \
+                or pcb.state is not ProcState.RUNNING:
             self._release(proc, pcb)
             return
         if kernel.crash_handling:
             self._requeue(proc, pcb)
             return
-        if pcb.quantum_used >= kernel.config.costs.quantum \
-                and self.has_ready():
+        if pcb.quantum_used >= self._quantum and self.has_ready():
             self._requeue(proc, pcb)
             return
         self._step(proc, pcb)

@@ -17,7 +17,6 @@ the role-specific action, mirroring section 7.4.2's delivery protocol.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..types import ChannelId, ClusterId, Pid
@@ -54,17 +53,29 @@ class DeliveryRole(enum.Enum):
     KERNEL = "kernel"
 
 
-@dataclass(frozen=True)
 class Delivery:
-    """One (cluster, role) leg of a message's multi-way delivery."""
+    """One (cluster, role) leg of a message's multi-way delivery.
 
-    cluster_id: ClusterId
-    role: DeliveryRole
-    pid: Optional[Pid] = None
-    channel_id: Optional[ChannelId] = None
+    A plain slotted class, not a dataclass: three legs are built per user
+    message and the frozen-dataclass ``object.__setattr__`` construction
+    cost was measurable on the send path (immutable by convention).
+    """
+
+    __slots__ = ("cluster_id", "role", "pid", "channel_id")
+
+    def __init__(self, cluster_id: ClusterId, role: DeliveryRole,
+                 pid: Optional[Pid] = None,
+                 channel_id: Optional[ChannelId] = None) -> None:
+        self.cluster_id = cluster_id
+        self.role = role
+        self.pid = pid
+        self.channel_id = channel_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Delivery(cluster_id={self.cluster_id}, role={self.role}, "
+                f"pid={self.pid}, channel_id={self.channel_id})")
 
 
-@dataclass(frozen=True)
 class Message:
     """An immutable message as it travels the intercluster bus.
 
@@ -73,23 +84,42 @@ class Message:
     is *not* part of the message: sequence numbers are assigned on arrival
     at each cluster (section 7.5.1, the ``which`` mechanism), so they live
     in the routing-table queues, not here.
+
+    Slotted with a handwritten ``__init__`` for the same reason as
+    :class:`Delivery`; immutability is by convention (nothing in the
+    repository mutates a message after construction).
     """
 
-    msg_id: int
-    kind: MessageKind
-    src_pid: Optional[Pid]
-    dst_pid: Optional[Pid]
-    channel_id: Optional[ChannelId]
-    payload: Any
-    size_bytes: int
-    deliveries: Tuple[Delivery, ...]
-    #: Reply routing: where the sender (and its backup) live, so servers can
-    #: lazily create routing entries for request channels.
-    src_cluster: Optional[ClusterId] = None
-    src_backup_cluster: Optional[ClusterId] = None
-    #: Piggybacked nondeterministic-event results (section 10 extension):
-    #: the SENDER_BACKUP delivery appends these to the saved log.
-    nondet_events: Tuple[Any, ...] = ()
+    __slots__ = ("msg_id", "kind", "src_pid", "dst_pid", "channel_id",
+                 "payload", "size_bytes", "deliveries", "src_cluster",
+                 "src_backup_cluster", "nondet_events")
+
+    def __init__(self, msg_id: int, kind: MessageKind,
+                 src_pid: Optional[Pid], dst_pid: Optional[Pid],
+                 channel_id: Optional[ChannelId], payload: Any,
+                 size_bytes: int, deliveries: Tuple[Delivery, ...],
+                 src_cluster: Optional[ClusterId] = None,
+                 src_backup_cluster: Optional[ClusterId] = None,
+                 nondet_events: Tuple[Any, ...] = ()) -> None:
+        self.msg_id = msg_id
+        self.kind = kind
+        self.src_pid = src_pid
+        self.dst_pid = dst_pid
+        self.channel_id = channel_id
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.deliveries = deliveries
+        #: Reply routing: where the sender (and its backup) live, so
+        #: servers can lazily create routing entries for request channels.
+        self.src_cluster = src_cluster
+        self.src_backup_cluster = src_backup_cluster
+        #: Piggybacked nondeterministic-event results (section 10
+        #: extension): the SENDER_BACKUP delivery appends these to the
+        #: saved log.
+        self.nondet_events = nondet_events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.describe()})"
 
     def target_clusters(self) -> Tuple[ClusterId, ...]:
         """Distinct clusters this message must reach, in delivery order.
@@ -112,13 +142,20 @@ class Message:
                 f"{self.src_pid}->{self.dst_pid} chan={self.channel_id}")
 
 
-@dataclass
 class QueuedMessage:
     """A message as it sits on a routing-table queue, stamped with the
     arrival sequence number its cluster assigned (section 7.5.1: "messages
     are given sequence numbers on arrival at a cluster so that the behavior
     of ``which`` can be replicated by the backup")."""
 
-    message: Message
-    arrival_seqno: int
-    arrival_time: int = field(default=0)
+    __slots__ = ("message", "arrival_seqno", "arrival_time")
+
+    def __init__(self, message: Message, arrival_seqno: int,
+                 arrival_time: int = 0) -> None:
+        self.message = message
+        self.arrival_seqno = arrival_seqno
+        self.arrival_time = arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueuedMessage(seqno={self.arrival_seqno}, "
+                f"time={self.arrival_time}, message={self.message!r})")

@@ -79,11 +79,22 @@ class LogHistogram:
     # -- recording ------------------------------------------------------
 
     def record(self, value: int) -> None:
-        """Fold one sample in (negative values clamp to zero)."""
+        """Fold one sample in (negative values clamp to zero).
+
+        :func:`bucket_index` is inlined here — one call per recorded
+        sample puts the function-call overhead on the queue-depth and
+        latency hot paths, and the two must stay in lockstep (the model
+        tests cross-check them).
+        """
         if value < 0:
             value = 0
-        index = bucket_index(value)
-        self._counts[index] = self._counts.get(index, 0) + 1
+        if value < _SUB_COUNT:
+            index = value
+        else:
+            shift = value.bit_length() - SUB_BITS - 1
+            index = ((shift + 1) << SUB_BITS) + (value >> shift) - _SUB_COUNT
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
         self._count += 1
         self._total += value
         if self._min is None or value < self._min:

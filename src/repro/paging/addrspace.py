@@ -199,8 +199,15 @@ class MemoryTxn:
     # Named-variable API used by programs ------------------------------------
 
     def get(self, name: str, index: int = 0) -> Cell:
+        # address_of inlined for the in-bounds case: one get() per LOAD
+        # puts the variable lookup and bounds check on the hottest
+        # program-execution path; error paths fall back for the message.
         space = self._space
-        address = space.address_of(name, index)
+        var = space._variables.get(name)
+        if var is None or not 0 <= index < var.n_words:
+            address = space.address_of(name, index)  # raises with detail
+        else:
+            address = var.base + index
         self.pages_touched.add(address // space.words_per_page)
         if address in self._writes:
             return self._writes[address]
@@ -208,7 +215,11 @@ class MemoryTxn:
 
     def set(self, name: str, value: Cell, index: int = 0) -> None:
         space = self._space
-        address = space.address_of(name, index)
+        var = space._variables.get(name)
+        if var is None or not 0 <= index < var.n_words:
+            address = space.address_of(name, index)  # raises with detail
+        else:
+            address = var.base + index
         page_no = address // space.words_per_page
         self.pages_touched.add(page_no)
         # Fault now if the page is absent: the write itself needs the page
@@ -226,8 +237,13 @@ class MemoryTxn:
 
     def commit(self) -> int:
         """Apply buffered writes; returns the number of words written."""
-        for address, value in sorted(self._writes.items()):
+        writes = self._writes
+        if not writes:
+            # Read-only steps (every Compute, Read and most syscalls)
+            # commit nothing; skip the sort-and-scan entirely.
+            return 0
+        for address, value in sorted(writes.items()):
             self._space.write_word(address, value)
-        count = len(self._writes)
-        self._writes.clear()
+        count = len(writes)
+        writes.clear()
         return count

@@ -23,7 +23,7 @@ free and the step re-runs once the page is resident.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict
 
 from ..paging import AddressSpace, MemoryTxn
 from ..types import Pid
@@ -122,11 +122,22 @@ class StateProgram(Program):
         regs["pc"] = self.start_state
 
     def step(self, ctx: StepContext) -> Action:
+        # Handler lookup is per step on the hottest path in the
+        # simulator, so bound methods are memoized per state name (the
+        # set of states is small and fixed per program class).
         state = ctx.regs.get("pc", self.start_state)
-        handler = getattr(self, f"state_{state}", None)
-        if handler is None:
-            raise ProgramError(
-                f"{self.name}: no handler for state {state!r}")
+        try:
+            handler = self._handlers[state]
+        except (AttributeError, KeyError):
+            handler = getattr(self, f"state_{state}", None)
+            if handler is None:
+                raise ProgramError(
+                    f"{self.name}: no handler for state "
+                    f"{state!r}") from None
+            if not hasattr(self, "_handlers"):
+                self._handlers: Dict[str, Callable[[StepContext],
+                                                   Action]] = {}
+            self._handlers[state] = handler
         return handler(ctx)
 
 

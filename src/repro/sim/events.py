@@ -94,19 +94,40 @@ class Event:
                 f"seq={self.seq}, label={self.label!r}{state})")
 
 
-#: One heap entry: the comparison key inline, the event payload last.
-_Entry = Tuple[int, int, int, Event]
+#: One heap entry: the comparison key inline, then the event handle and
+#: the bare callback.  ``seq`` is unique, so the trailing elements never
+#: meet a comparison; carrying the action in the entry saves the
+#: per-dispatch attribute load on the event loop's hot path.
+_Entry = Tuple[int, int, int, Event, Callable[[], None]]
 
 
 class EventHeap:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
 
-    __slots__ = ("_heap", "_seq", "_live")
+    Beyond the classic push/pop surface this exposes the *batch* protocol
+    the event loop dispatches through (see :class:`~repro.sim.queues.EventQueue`
+    for the formal contract shared with the calendar and ladder backends):
+
+    * :meth:`pop_batch` drains one run of same-timestamp events in a
+      single call, so the loop pays its bound checks and bookkeeping once
+      per *timestamp* instead of once per event;
+    * ``same_time_watch`` / ``same_time_dirty`` let the loop detect a push
+      landing at the timestamp of the batch it is currently executing —
+      the one case where batch dispatch could reorder relative to
+      single-event dispatch — and fall back via :meth:`reinsert`.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live", "same_time_watch",
+                 "same_time_dirty")
 
     def __init__(self) -> None:
         self._heap: List[_Entry] = []
         self._seq = 0
         self._live = 0
+        #: Timestamp the event loop is currently executing a batch at, or
+        #: -1.  A push at exactly this time sets ``same_time_dirty``.
+        self.same_time_watch = -1
+        self.same_time_dirty = False
 
     def __len__(self) -> int:
         return self._live
@@ -116,12 +137,28 @@ class EventHeap:
         """Schedule ``action`` at absolute virtual ``time`` and return the event."""
         if time < 0:
             raise SchedulingError(f"event time must be >= 0, got {time}")
+        if time == self.same_time_watch:
+            self.same_time_dirty = True
         seq = self._seq
         self._seq = seq + 1
         self._live += 1
         event = Event(time, priority, seq, action, label)
-        heappush(self._heap, (time, priority, seq, event))
+        heappush(self._heap, (time, priority, seq, event, action))
         return event
+
+    def reinsert(self, event: Event) -> None:
+        """Put a popped-but-unexecuted event back, keeping its original key.
+
+        Used by the event loop's same-tick fallback: when a batch member's
+        action schedules new work at the batch's own timestamp, the
+        undispatched tail of the batch is reinserted and re-popped in key
+        order against the late arrivals.  The original ``(time, priority,
+        seq)`` is preserved, so reinserted events keep their place in the
+        total order.
+        """
+        self._live += 1
+        heappush(self._heap, (event.time, event.priority, event.seq, event,
+                              event.action))
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty.
@@ -161,6 +198,56 @@ class EventHeap:
             self._live -= 1
             return head[3]
         return None
+
+    def pop_batch(self, until: Optional[int] = None,
+                  limit: Optional[int] = None,
+                  into: Optional[List[Event]] = None) -> List[Event]:
+        """Remove and return one run of live events sharing a timestamp.
+
+        The batch starts at the next live head within the (inclusive)
+        ``until`` bound and extends through every live event at that same
+        timestamp, ordered by ``(priority, seq)`` — exactly the order
+        repeated :meth:`pop_next` calls would produce.  A batch never
+        mixes timestamps and never crosses ``until``; ``limit`` caps the
+        batch length, leaving the rest of the run for the next call.
+
+        Cancelled entries encountered during the drain are discarded with
+        the same live-count accounting as :meth:`pop_next`, including a
+        cancelled head beyond the bound (the phantom-pending rule).
+        Returns ``[]`` when nothing is due.
+
+        ``into``, when given, is cleared and refilled instead of
+        allocating a fresh list — the event loop calls this once per
+        timestamp, and at modest tie density a per-call list allocation
+        erases most of the batching win.
+        """
+        heap = self._heap
+        if into is None:
+            batch: List[Event] = []
+        else:
+            batch = into
+            batch.clear()
+        while heap:
+            head = heap[0]
+            if head[3].cancelled:
+                heappop(heap)
+                self._live -= 1
+                continue
+            if until is not None and head[0] > until:
+                return batch
+            break
+        if not heap:
+            return batch
+        run_time = heap[0][0]
+        while heap and heap[0][0] == run_time:
+            if limit is not None and len(batch) >= limit:
+                break
+            event = heappop(heap)[3]
+            self._live -= 1
+            if event.cancelled:
+                continue
+            batch.append(event)
+        return batch
 
     def peek_time(self) -> Optional[int]:
         """Return the virtual time of the next live event without popping it.

@@ -23,19 +23,42 @@ a per-category index, so a fault-injection trigger armed on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from sys import intern
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 Listener = Callable[["TraceRecord"], None]
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One timeline entry: what happened, when, and structured details."""
+    """One timeline entry: what happened, when, and structured details.
 
-    time: int
-    category: str
-    detail: Dict[str, Any] = field(default_factory=dict)
+    Slotted and category-interned: a fully traced run allocates one of
+    these per emitted record, so the per-instance ``__dict__`` is
+    dropped (``__slots__``) and the category string is shared process-
+    wide (``sys.intern``) — every ``bus.transmit`` record points at the
+    same string object, and category comparisons in :meth:`TraceLog.
+    select`/:meth:`TraceLog.count` short-circuit on identity.  Records
+    compare by value and are mutated nowhere (treat them as frozen).
+    """
+
+    __slots__ = ("time", "category", "detail")
+
+    def __init__(self, time: int, category: str,
+                 detail: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.category = intern(category)
+        self.detail = {} if detail is None else detail
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(time={self.time!r}, "
+                f"category={self.category!r}, detail={self.detail!r})")
+
+    def __eq__(self, other: object) -> Any:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time == other.time
+                and self.category == other.category
+                and self.detail == other.detail)
 
     def format(self) -> str:
         """Render the record as a single human-readable line."""
@@ -145,7 +168,7 @@ class TraceLog:
         """
         if not self.active:
             return
-        record = TraceRecord(time=time, category=category, detail=detail)
+        record = TraceRecord(time, category, detail)
         if self._enabled and (self._only is None or category in self._only):
             self._records.append(record)
         listeners = self._listeners

@@ -4,7 +4,8 @@ from .generator import (Scenario, generate_scenario, observable)
 from .pipeline import (RelayProgram, SinkProgram, SourceProgram,
                        build_pipeline)
 from .oltp import (BankAuditorProgram, BankClientProgram,
-                   BankServerProgram, build_bank_workload,
+                   BankServerProgram, DenseBankClientProgram,
+                   build_bank_workload, build_dense_oltp,
                    generate_transfers)
 from .programs import (AlarmWaiterProgram, FileWorkerProgram,
                        ForkParentProgram, MemoryChurnProgram, PingProgram,
@@ -22,7 +23,9 @@ __all__ = [
     "BankAuditorProgram",
     "BankClientProgram",
     "BankServerProgram",
+    "DenseBankClientProgram",
     "build_bank_workload",
+    "build_dense_oltp",
     "generate_transfers",
     "AlarmWaiterProgram",
     "FileWorkerProgram",

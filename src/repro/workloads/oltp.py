@@ -173,6 +173,45 @@ class BankClientProgram(StateProgram):
         return Compute(self._think)
 
 
+class DenseBankClientProgram(BankClientProgram):
+    """A bank client that runs application compute after every reply.
+
+    Real OLTP clients do not just fire transfers back to back: each
+    committed transaction feeds application logic (interest accrual,
+    fraud scoring, report accumulation) before the next request goes
+    out.  This client models that as ``app_steps`` compute slices of
+    ``app_cost`` ticks each, working over its own address space, between
+    a reply and the next submit — which makes the workload *dense*: the
+    scheduler dispatch path dominates the run instead of channel waits.
+    """
+
+    name = "bank_client_dense"
+
+    def __init__(self, index: int, transfers: List[Tuple[int, int, int]],
+                 app_steps: int = 16, app_cost: int = 500,
+                 **kwargs) -> None:
+        super().__init__(index, transfers, **kwargs)
+        self._app_steps = app_steps
+        self._app_cost = app_cost
+
+    def state_reply(self, ctx: StepContext):
+        ctx.mem.set("done", ctx.mem.get("done") + 1)
+        # The app loop's counter lives in a register, like
+        # BusyProgram's: scratch state, not data the application would
+        # checkpoint.
+        ctx.regs["app_i"] = 0
+        ctx.goto("app")
+        return Compute(self._think)
+
+    def state_app(self, ctx: StepContext):
+        i = ctx.regs["app_i"]
+        if i >= self._app_steps:
+            ctx.goto("submit")
+            return Compute(10)
+        ctx.regs["app_i"] = i + 1
+        return Compute(self._app_cost)
+
+
 class BankAuditorProgram(StateProgram):
     """Connects to the bank, sums every balance, prints the total at the
     terminal (``audit:<sum>``) — the conservation check: transfers move
@@ -285,4 +324,36 @@ def build_bank_workload(machine, n_clients: int = 3,
         client_pids.append(machine.spawn(
             BankClientProgram(index=index, transfers=transfers),
             backup_mode=client_mode))
+    return server_pid, client_pids, accounts * 1_000
+
+
+def build_dense_oltp(machine, n_clients: int = 4,
+                     txns_per_client: int = 60, accounts: int = 24,
+                     seed: int = 7, app_steps: int = 32,
+                     app_cost: int = 500):
+    """Spawn the bank with :class:`DenseBankClientProgram` clients: the
+    transfer stream of :func:`build_bank_workload` (same seed-derived
+    transfer lists) plus per-transaction application compute on every
+    client.  This is the P3 benchmark's "dense OLTP" workload — event
+    density comes from scheduler dispatch, not from channel waits.
+
+    Returns ``(server_pid, client_pids, expected_total)`` like
+    :func:`build_bank_workload`.
+    """
+    from ..backup.modes import BackupMode
+
+    rng = DeterministicRNG(seed)
+    server = BankServerProgram(clients=n_clients, accounts=accounts,
+                               expected_txns=n_clients * txns_per_client)
+    server_pid = machine.spawn(server,
+                               backup_mode=BackupMode.QUARTERBACK)
+    client_pids = []
+    for index in range(n_clients):
+        transfers = generate_transfers(rng.fork(f"client{index}"),
+                                       txns_per_client, accounts)
+        client_pids.append(machine.spawn(
+            DenseBankClientProgram(index=index, transfers=transfers,
+                                   app_steps=app_steps,
+                                   app_cost=app_cost),
+            backup_mode=BackupMode.QUARTERBACK))
     return server_pid, client_pids, accounts * 1_000

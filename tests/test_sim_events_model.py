@@ -1,35 +1,49 @@
-"""Randomized model test: EventHeap vs. a naive sorted-list reference.
+"""Randomized differential test: every queue backend vs. a naive model.
 
 The fast-path heap (tuple keys, lazy cancellation, the combined
-``pop_next`` scan) must behave exactly like the obviously correct
-structure it optimizes: a list of events kept sorted by
-``(time, priority, seq)`` with cancelled entries skipped on pop.  A
-seeded random schedule of pushes, cancels, pops, bounded pops and peeks
-is driven through both; any divergence in returned events, reported
-sizes or peeked times fails.
+``pop_next`` scan, the ``pop_batch`` drain) and the alternative backends
+behind the ``EventQueue`` protocol — calendar queue, ladder queue —
+must all behave exactly like the obviously correct structure they
+optimize: a list of events kept sorted by ``(time, priority, seq)``
+with cancelled entries skipped on pop.  A seeded random schedule of
+pushes, cancels, pops, bounded pops, batch pops, reinserts and peeks is
+driven through the backend and the model in lockstep; any divergence in
+returned events, batch contents, reported sizes or peeked times fails.
+
+Two schedule shapes run against every backend: a spread schedule (times
+drawn from a wide window) and a heavy-ties schedule (times drawn from a
+handful of values, so long same-timestamp runs and batch splitting are
+constantly exercised).  Backend parameters are pushed to degenerate
+extremes (one-tick calendar days, a ladder bottom of one) to force the
+structural machinery — day turnover, rung splitting — rather than
+letting everything sit in one bucket.
 
 This guards the two historical bug classes in this structure: phantom
 live-counts from lazy cancellation (PR-1) and double-discard drift
-between ``peek_time`` and ``pop``.
+between ``peek_time`` and ``pop`` — and now also holds the pluggable
+backends to the heap's exact pop order, the hard contract of
+``docs/performance.md`` ("Choosing an event queue").
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import pytest
 
 from repro.sim.events import Event, EventHeap, SchedulingError
+from repro.sim.queues import CalendarQueue, LadderQueue, make_queue
 
 
 class ReferenceHeap:
     """The trivially correct model: a sorted list, linear everything.
 
-    Mirrors the heap's *lazy* cancellation contract: cancelled events
-    stay counted until a pop/peek scan reaches them at the front, which
-    is exactly when the real heap discards them (keys are unique, so the
-    heap's pop order equals this list's sorted order)."""
+    Mirrors the real backends' *lazy* cancellation contract: cancelled
+    events stay counted until a pop/peek scan reaches them at the front,
+    which is exactly when the real structures discard them (keys are
+    unique, so every backend's pop order equals this list's sorted
+    order)."""
 
     def __init__(self) -> None:
         self._events: List[Event] = []
@@ -45,6 +59,10 @@ class ReferenceHeap:
         self._events.append(event)
         self._events.sort(key=lambda e: (e.time, e.priority, e.seq))
         return event
+
+    def reinsert(self, event: Event) -> None:
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.time, e.priority, e.seq))
 
     def pop(self) -> Optional[Event]:
         while self._events:
@@ -64,6 +82,30 @@ class ReferenceHeap:
             return self._events.pop(0)
         return None
 
+    def pop_batch(self, until: Optional[int] = None,
+                  limit: Optional[int] = None) -> List[Event]:
+        batch: List[Event] = []
+        events = self._events
+        while events:
+            event = events[0]
+            if event.cancelled:
+                events.pop(0)
+                continue
+            if until is not None and event.time > until:
+                return batch
+            break
+        if not events:
+            return batch
+        run_time = events[0].time
+        while events and events[0].time == run_time:
+            if limit is not None and len(batch) >= limit:
+                break
+            event = events.pop(0)
+            if event.cancelled:
+                continue
+            batch.append(event)
+        return batch
+
     def peek_time(self) -> Optional[int]:
         while self._events and self._events[0].cancelled:
             self._events.pop(0)
@@ -78,71 +120,137 @@ def key(event: Optional[Event]) -> Optional[Tuple[int, int, int]]:
     return (event.time, event.priority, event.seq)
 
 
-@pytest.mark.parametrize("seed", range(8))
-def test_event_heap_matches_reference_model(seed: int) -> None:
+#: Every backend shape under test.  Degenerate parameters (one-tick
+#: days, a one-event ladder bottom) force maximum structural churn.
+BACKENDS: List[Tuple[str, Callable[[], object]]] = [
+    ("heap", EventHeap),
+    ("calendar", CalendarQueue),
+    ("calendar-w1", lambda: CalendarQueue(day_width=1)),
+    ("calendar-w7", lambda: CalendarQueue(day_width=7)),
+    ("ladder", LadderQueue),
+    ("ladder-b1", lambda: LadderQueue(bottom_threshold=1)),
+    ("ladder-b4", lambda: LadderQueue(bottom_threshold=4)),
+]
+
+
+def _drive(queue, seed: int, tie_heavy: bool) -> None:
     rng = random.Random(seed)
-    heap = EventHeap()
     model = ReferenceHeap()
-    live_pairs: List[Tuple[Event, Event]] = []  # (heap event, model event)
+    live_pairs: List[Tuple[Event, Event]] = []  # (queue event, model event)
     clock = 0
+
+    def push_time() -> int:
+        if tie_heavy:
+            # A handful of hot timestamps: long same-time runs are the norm.
+            return clock + rng.choice((0, 0, 0, 1, 1, 7, 7, 7, 30))
+        return clock + rng.randrange(0, 50)
 
     for _ in range(600):
         op = rng.random()
-        if op < 0.45:
-            time = clock + rng.randrange(0, 50)
+        if op < 0.40:
+            time = push_time()
             priority = rng.choice((0, 0, 0, 1, 5, -3))
-            actual = heap.push(time, lambda: None, priority=priority)
+            actual = queue.push(time, lambda: None, priority=priority)
             expected = model.push(time, priority=priority)
             assert key(actual) == key(expected)
             live_pairs.append((actual, expected))
-        elif op < 0.60 and live_pairs:
+        elif op < 0.52 and live_pairs:
             actual, expected = live_pairs.pop(
                 rng.randrange(len(live_pairs)))
             actual.cancel()
             expected.cancel()
-        elif op < 0.75:
-            assert heap.peek_time() == model.peek_time()
-        elif op < 0.88:
+        elif op < 0.62:
+            assert queue.peek_time() == model.peek_time()
+        elif op < 0.74:
             until = (None if rng.random() < 0.3
                      else clock + rng.randrange(0, 40))
-            actual = heap.pop_next(until)
+            actual = queue.pop_next(until)
             expected = model.pop_next(until)
             assert key(actual) == key(expected)
             if actual is not None:
                 clock = max(clock, actual.time)
+        elif op < 0.90:
+            until = (None if rng.random() < 0.3
+                     else clock + rng.randrange(0, 40))
+            limit = None if rng.random() < 0.5 else rng.randrange(1, 4)
+            actual_batch = queue.pop_batch(until, limit=limit)
+            expected_batch = model.pop_batch(until, limit=limit)
+            assert ([key(e) for e in actual_batch]
+                    == [key(e) for e in expected_batch])
+            if actual_batch:
+                clock = max(clock, actual_batch[-1].time)
+                if rng.random() < 0.4:
+                    # The loop's same-tick fallback: put the batch tail
+                    # back with original keys.
+                    for a, e in zip(reversed(actual_batch),
+                                    reversed(expected_batch)):
+                        queue.reinsert(a)
+                        model.reinsert(e)
         else:
-            actual = heap.pop()
+            actual = queue.pop()
             expected = model.pop()
             assert key(actual) == key(expected)
             if actual is not None:
                 clock = max(clock, actual.time)
-        assert len(heap) == len(model)
+        assert len(queue) == len(model)
 
     # Drain both completely; the full remaining order must agree.
     while True:
-        actual = heap.pop_next()
+        actual = queue.pop_next()
         expected = model.pop_next()
         assert key(actual) == key(expected)
         if actual is None:
             break
-    assert len(heap) == len(model) == 0
+    assert len(queue) == len(model) == 0
+
+
+@pytest.mark.parametrize("backend", [name for name, _ in BACKENDS])
+@pytest.mark.parametrize("seed", range(8))
+def test_backend_matches_reference_model(backend: str, seed: int) -> None:
+    factory = dict(BACKENDS)[backend]
+    _drive(factory(), seed, tie_heavy=False)
+
+
+@pytest.mark.parametrize("backend", [name for name, _ in BACKENDS])
+@pytest.mark.parametrize("seed", range(8))
+def test_backend_matches_reference_under_heavy_ties(backend: str,
+                                                    seed: int) -> None:
+    factory = dict(BACKENDS)[backend]
+    _drive(factory(), seed, tie_heavy=True)
 
 
 def test_push_rejects_negative_time() -> None:
-    heap = EventHeap()
-    with pytest.raises(SchedulingError):
-        heap.push(-1, lambda: None)
+    for _, factory in BACKENDS:
+        with pytest.raises(SchedulingError):
+            factory().push(-1, lambda: None)
+
+
+def test_make_queue_resolves_names_and_validates_params() -> None:
+    from repro.scenario.registry import RegistryError, UnknownNameError
+
+    assert isinstance(make_queue("heap"), EventHeap)
+    assert isinstance(make_queue("calendar", {"day_width": 8}),
+                      CalendarQueue)
+    assert isinstance(make_queue("ladder"), LadderQueue)
+    with pytest.raises(UnknownNameError, match="did you mean 'ladder'"):
+        make_queue("lader")
+    with pytest.raises(RegistryError, match="day_width"):
+        make_queue("calendar", {"day_width": "wide"})
+    with pytest.raises(RegistryError, match="unknown key"):
+        make_queue("heap", {"day_width": 8})
 
 
 def test_cancelled_run_is_all_lazy_discard() -> None:
     """Cancelling every event must drain to empty without phantom counts."""
-    heap = EventHeap()
-    events = [heap.push(t, lambda: None) for t in range(20)]
-    for event in events:
-        event.cancel()
-    # Cancellation is lazy: entries stay counted until a scan reaches them.
-    assert len(heap) == 20
-    assert heap.peek_time() is None  # the scan discards every entry
-    assert len(heap) == 0
-    assert heap.pop_next() is None
-    assert heap.pop() is None
+    for _, factory in BACKENDS:
+        queue = factory()
+        events = [queue.push(t, lambda: None) for t in range(20)]
+        for event in events:
+            event.cancel()
+        # Cancellation is lazy: entries stay counted until a scan reaches
+        # them.
+        assert len(queue) == 20
+        assert queue.peek_time() is None  # the scan discards every entry
+        assert len(queue) == 0
+        assert queue.pop_next() is None
+        assert queue.pop() is None
